@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures.
+
+The suite regenerates every table/figure/claim of the paper (experiment
+ids E1-E13, see DESIGN.md).  Default scale runs C0-C2 at the paper's true
+node counts (30 K / 90 K / 230 K); set ``REPRO_BENCH_FULL=1`` to add C3
+(1 M nodes) and SPICE on C2, or ``REPRO_BENCH_SCALE=paper`` for C4/C5.
+
+Heavy end-to-end benchmarks use a single measured round by default
+(``REPRO_BENCH_ROUNDS`` overrides); statistical repetition belongs to the
+microbenches in ``test_components.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.circuits import build_circuit
+
+
+def heavy_rounds() -> int:
+    return int(os.environ.get("REPRO_BENCH_ROUNDS", "1"))
+
+
+@pytest.fixture(scope="session")
+def circuit_cache():
+    """Build each benchmark circuit once per session."""
+    cache: dict[str, object] = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = build_circuit(name, seed=0)
+        return cache[name]
+
+    return get
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Benchmark a callable with single-round pedantic timing and return
+    its (last) result for assertions/reporting."""
+
+    def run(func, *args, **kwargs):
+        holder = {}
+
+        def wrapper():
+            holder["result"] = func(*args, **kwargs)
+            return holder["result"]
+
+        benchmark.pedantic(wrapper, rounds=heavy_rounds(), iterations=1)
+        return holder["result"]
+
+    return run

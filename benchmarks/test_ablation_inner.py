@@ -1,0 +1,30 @@
+"""E11 -- intra-plane solver ablation: the paper's row-based method vs
+the cached-direct and CG alternatives (design decision in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.bench.ablations import inner_solver_comparison
+from repro.bench.reporting import ascii_table
+from repro.grid.generators import paper_stack
+
+INNERS = ("rb", "direct", "cg")
+
+
+def test_inner_solvers(benchmark, bench_once):
+    stack = paper_stack(60, seed=0, name="inner-ablation")
+    points = bench_once(inner_solver_comparison, stack, INNERS)
+    rows = [
+        [p.inner, f"{p.seconds * 1e3:.0f}ms", p.outer_iterations,
+         p.inner_iterations, f"{p.max_error_mv:.3f}"]
+        for p in points
+    ]
+    print("\nE11: intra-plane solver comparison")
+    print(ascii_table(
+        ["inner", "time", "outers", "inner iters", "err (mV)"], rows
+    ))
+    for p in points:
+        benchmark.extra_info[f"time_ms[{p.inner}]"] = round(p.seconds * 1e3, 1)
+
+    assert all(p.converged for p in points)
+    assert all(p.max_error_mv <= 0.5 for p in points)

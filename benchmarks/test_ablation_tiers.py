@@ -1,0 +1,36 @@
+"""E9 -- the conclusion's claim: "more complex 3-D power distribution
+networks, due to an increasing number of tiers ... are expected to
+benefit more from the VP method".
+
+VP-vs-PCG cost as the stack grows from 2 to 5 tiers at fixed tier size.
+"""
+
+from __future__ import annotations
+
+from repro.bench.ablations import tier_scaling
+from repro.bench.reporting import ascii_table
+
+TIER_COUNTS = (2, 3, 4, 5)
+
+
+def test_tier_scaling(benchmark, bench_once):
+    points = bench_once(
+        tier_scaling, 50, TIER_COUNTS, seed=0
+    )
+    rows = [
+        [p.n_tiers, p.n_nodes, f"{p.vp_seconds * 1e3:.0f}ms",
+         f"{p.pcg_seconds * 1e3:.0f}ms", p.pcg_iterations,
+         f"{p.speedup:.2f}x"]
+        for p in points
+    ]
+    print("\nE9: VP vs PCG as tiers stack up")
+    print(ascii_table(
+        ["tiers", "nodes", "VP", "PCG", "PCG iters", "speedup"], rows
+    ))
+    for p in points:
+        benchmark.extra_info[f"speedup@{p.n_tiers}tiers"] = round(p.speedup, 3)
+
+    assert all(p.vp_seconds > 0 for p in points)
+    # VP's per-tier decomposition should scale no worse than PCG on the
+    # growing 3-D system: the speedup must not collapse with height.
+    assert points[-1].speedup >= 0.5 * points[0].speedup

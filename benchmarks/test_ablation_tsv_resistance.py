@@ -1,0 +1,45 @@
+"""E6 -- §III-A measured: Gauss-Seidel degrades as the inter-tier TSV
+resistance shrinks (diagonal dominance lost), VP stays flat.
+
+Regenerates the claim "the resistance of a TSV is considerably lower as
+compared to ... the power grid [wires, which] reduces the diagonal
+dominance of matrix G and, consequently, the convergence ratio".
+"""
+
+from __future__ import annotations
+
+from repro.bench.ablations import tsv_resistance_sweep
+from repro.bench.reporting import ascii_table
+
+R_VALUES = (0.5, 0.05, 0.005, 0.0005)
+
+
+def test_gs_degrades_vp_flat(benchmark, bench_once):
+    points = bench_once(
+        tsv_resistance_sweep,
+        24,
+        R_VALUES,
+        seed=0,
+        gs_tol=1e-6,
+        gs_max_iter=100_000,
+    )
+    rows = [
+        [p.r_tsv, p.gs_iterations, p.vp_outer_iterations,
+         f"{p.vp_max_error * 1e3:.4f}"]
+        for p in points
+    ]
+    print("\nE6: iterations vs inter-tier TSV resistance")
+    print(ascii_table(
+        ["r_tsv (ohm)", "GS iterations", "VP outers", "VP err (mV)"], rows
+    ))
+    for p in points:
+        benchmark.extra_info[f"gs@{p.r_tsv}"] = p.gs_iterations
+        benchmark.extra_info[f"vp@{p.r_tsv}"] = p.vp_outer_iterations
+
+    # The claim: GS blows up toward low resistance, VP does not.
+    assert points[-1].gs_iterations > 5 * points[0].gs_iterations
+    assert (
+        points[-1].vp_outer_iterations
+        <= points[0].vp_outer_iterations + 2
+    )
+    assert all(p.vp_max_error <= 0.5e-3 for p in points)

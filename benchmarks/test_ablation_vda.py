@@ -1,0 +1,36 @@
+"""E8 -- VDA policy ablation: the paper's fixed/adaptive rules vs the
+per-pillar secant and Anderson extensions.
+
+Outer-iteration counts and wall time on a C0-scale stack; all policies
+must stay inside the 0.5 mV budget.
+"""
+
+from __future__ import annotations
+
+from repro.bench.ablations import vda_comparison
+from repro.bench.reporting import ascii_table
+from repro.grid.generators import paper_stack
+
+POLICIES = ("fixed", "adaptive", "secant", "anderson")
+
+
+def test_vda_policies(benchmark, bench_once):
+    stack = paper_stack(60, seed=0, name="vda-ablation")
+    points = bench_once(vda_comparison, stack, POLICIES)
+    rows = [
+        [p.policy, p.outer_iterations, "yes" if p.converged else "NO",
+         f"{p.seconds * 1e3:.0f}ms", f"{p.max_error_mv:.3f}"]
+        for p in points
+    ]
+    print("\nE8: VDA policy comparison")
+    print(ascii_table(["policy", "outers", "conv", "time", "err (mV)"], rows))
+    for p in points:
+        benchmark.extra_info[f"outers[{p.policy}]"] = p.outer_iterations
+        benchmark.extra_info[f"err_mv[{p.policy}]"] = round(p.max_error_mv, 4)
+
+    assert all(p.converged for p in points)
+    assert all(p.max_error_mv <= 0.5 for p in points)
+    by_name = {p.policy: p for p in points}
+    # Accelerated policies should not be slower in outer iterations than
+    # the paper's fixed rule.
+    assert by_name["anderson"].outer_iterations <= by_name["fixed"].outer_iterations

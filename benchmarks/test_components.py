@@ -1,0 +1,90 @@
+"""Microbenchmarks of the computational kernels.
+
+These use pytest-benchmark's statistical timing (many rounds) and track
+the costs the end-to-end numbers are built from: tridiagonal solves, one
+row-based sweep, plane/stack assembly, SpMV, and a V-cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rowbased import RowBasedConfig, RowBasedSolver
+from repro.grid.conductance import grid2d_matrix, stack_system
+from repro.grid.generators import paper_stack, synthesize_stack
+from repro.linalg.multigrid import GridHierarchy
+from repro.linalg.tridiagonal import (
+    TridiagonalCholesky,
+    solve_tridiagonal,
+    thomas_solve,
+)
+
+N_ROW = 512
+
+
+@pytest.fixture(scope="module")
+def row_system():
+    rng = np.random.default_rng(0)
+    off = -rng.uniform(0.5, 1.0, N_ROW - 1)
+    diag = rng.uniform(0.5, 1.0, N_ROW)
+    diag[:-1] += np.abs(off)
+    diag[1:] += np.abs(off)
+    rhs = rng.standard_normal(N_ROW)
+    return diag, off, rhs
+
+
+def test_thomas_reference(benchmark, row_system):
+    """The paper's 5N-4 mult / 3(N-1) add reference implementation."""
+    diag, off, rhs = row_system
+    benchmark(thomas_solve, off, diag, off, rhs)
+
+
+def test_lapack_banded(benchmark, row_system):
+    diag, off, rhs = row_system
+    benchmark(solve_tridiagonal, off, diag, off, rhs)
+
+
+def test_cholesky_banded_multirhs(benchmark, row_system):
+    """The production path: factor once, solve a 64-column batch."""
+    diag, off, _ = row_system
+    factor = TridiagonalCholesky(diag, off)
+    rhs = np.random.default_rng(1).standard_normal((N_ROW, 64))
+    benchmark(factor.solve, rhs)
+
+
+def test_rb_single_sweep(benchmark):
+    """One red-black row-based sweep over a 173x173 tier (C1 scale)."""
+    stack = paper_stack(173, seed=0)
+    solver = RowBasedSolver(
+        stack.tiers[0], stack.pillar_mask(), RowBasedConfig()
+    )
+    dvals = np.full((173, 173), stack.v_pin)
+
+    def one_sweep():
+        return solver.solve(dirichlet_values=dvals, max_sweeps=1)
+
+    benchmark(one_sweep)
+
+
+def test_plane_assembly(benchmark):
+    stack = paper_stack(173, seed=0)
+    benchmark(grid2d_matrix, stack.tiers[0])
+
+
+def test_stack_assembly(benchmark):
+    stack = paper_stack(100, seed=0)
+    benchmark(stack_system, stack)
+
+
+def test_spmv(benchmark):
+    stack = paper_stack(100, seed=0)
+    matrix, rhs = stack_system(stack)
+    benchmark(matrix.dot, rhs)
+
+
+def test_multigrid_vcycle(benchmark):
+    stack = synthesize_stack(64, 64, 3, rng=0)
+    matrix, rhs = stack_system(stack)
+    hierarchy = GridHierarchy.from_stack(stack)
+    benchmark(hierarchy.v_cycle, rhs)

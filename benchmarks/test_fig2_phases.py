@@ -1,0 +1,32 @@
+"""E10 -- Fig. 2's pseudocode structure, profiled.
+
+Splits one VP solve into the pseudocode's phases: CVN (row-based
+intra-plane solves), TSV current computation, voltage propagation, and
+VDA.  The paper's design intuition -- CVN dominates, the TSV bookkeeping
+is negligible -- is asserted.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import phase_breakdown
+from repro.bench.reporting import ascii_table
+from repro.grid.generators import paper_stack
+
+
+def test_phase_breakdown(benchmark, bench_once):
+    stack = paper_stack(100, seed=0, name="fig2-phases")  # C0 size
+    breakdown = bench_once(phase_breakdown, stack)
+
+    rows = [
+        [phase, f"{seconds * 1e3:.2f}ms"]
+        for phase, seconds in breakdown.items()
+        if phase not in ("outer_iterations",)
+    ]
+    print("\nE10: VP phase breakdown (C0)")
+    print(ascii_table(["phase", "time"], rows))
+    for phase, seconds in breakdown.items():
+        benchmark.extra_info[phase] = round(float(seconds), 5)
+
+    compute = {k: breakdown[k] for k in ("cvn", "tsv", "propagate", "vda")}
+    assert max(compute, key=compute.get) == "cvn"
+    assert breakdown["propagate"] + breakdown["vda"] < breakdown["cvn"]

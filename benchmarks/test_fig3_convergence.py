@@ -1,0 +1,31 @@
+"""E5 -- Fig. 3 semantics: the propagated source voltage converges to VDD
+and the VDA principle (shrinking |Vdiff|) holds.
+
+Benchmarks the traced VP run on a C0-scale stack and records the
+trajectory in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig3_trace
+from repro.grid.generators import paper_stack
+
+
+def test_fig3_propagated_voltage_trace(benchmark, bench_once):
+    stack = paper_stack(60, seed=0, name="fig3")
+    trace = bench_once(fig3_trace, stack)
+
+    assert trace.converged
+    assert trace.monotone_after(1), "VDA principle violated"
+    # The probe pillar's propagated source voltage approaches VDD.
+    gaps = [abs(v - stack.v_pin) for v in trace.probe_propagated]
+    assert gaps[-1] < gaps[0]
+    benchmark.extra_info["outer_iterations"] = len(trace.max_vdiff)
+    benchmark.extra_info["vdiff_trace_uV"] = [
+        round(v * 1e6, 2) for v in trace.max_vdiff
+    ]
+    benchmark.extra_info["propagated_gap_uV"] = [
+        round(g * 1e6, 2) for g in gaps
+    ]
+    print("\nE5 propagated-source-voltage gap (uV) per outer iteration:")
+    print("  " + " -> ".join(f"{g * 1e6:.1f}" for g in gaps))

@@ -1,0 +1,98 @@
+"""E2/E3/E4 -- the paper's headline series, regenerated.
+
+* E2: speedup(VP vs PCG) vs circuit size (paper: 10x at 30 K growing to
+  20x at 12 M);
+* E3: memory(PCG)/memory(VP) vs circuit size (paper: ~3x, "one third of
+  the memory");
+* E4: max error vs the SPICE gold reference (paper: <= 0.5 mV).
+
+One harness run produces all three; the rendered series print with the
+paper's values side by side and land in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.figures import (
+    memory_ratio_series,
+    render_series,
+    speedup_series,
+)
+from repro.bench.table1 import ERROR_BUDGET, run_table1
+
+SERIES_CIRCUITS = ["C0", "C1"] + (
+    ["C2"] if os.environ.get("REPRO_BENCH_FULL") else []
+)
+
+
+@pytest.fixture(scope="module")
+def table(bench_once_module):
+    return bench_once_module(
+        run_table1, SERIES_CIRCUITS, methods=("vp", "pcg", "spice")
+    )
+
+
+@pytest.fixture(scope="module")
+def bench_once_module():
+    """Module-scoped plain runner (the timing benchmark lives in E1; here
+    we only need the results once)."""
+
+    def run(func, *args, **kwargs):
+        return func(*args, **kwargs)
+
+    return run
+
+
+def test_fig_speedup_series(benchmark, table):
+    """E2: who wins and by what factor, vs size."""
+
+    def series():
+        return speedup_series(table)
+
+    points = benchmark(series)
+    print("\n" + render_series(points, "VP-vs-PCG speedup"))
+    for point in points:
+        benchmark.extra_info[f"speedup@{point.n_nodes}"] = round(
+            point.measured, 3
+        )
+        if point.paper:
+            benchmark.extra_info[f"paper@{point.n_nodes}"] = point.paper
+    assert all(point.measured > 0 for point in points)
+
+
+def test_fig_memory_ratio_series(benchmark, table):
+    """E3: the ~3x memory story."""
+
+    def series():
+        return memory_ratio_series(table)
+
+    points = benchmark(series)
+    print("\n" + render_series(points, "PCG/VP memory ratio"))
+    for point in points:
+        benchmark.extra_info[f"ratio@{point.n_nodes}"] = round(
+            point.measured, 3
+        )
+    # The paper claims VP needs ~1/3 of PCG's memory; require a clear
+    # advantage (>= 2x) at every size.
+    assert all(point.measured >= 2.0 for point in points)
+
+
+def test_fig_accuracy(benchmark, table):
+    """E4: every method within the 0.5 mV budget at every size."""
+
+    def worst_errors():
+        rows = {}
+        for row in table.rows:
+            for key, result in (("vp", row.vp), ("pcg", row.pcg)):
+                if result is not None and result.max_error is not None:
+                    rows[f"{key}@{row.circuit}"] = result.max_error
+        return rows
+
+    errors = benchmark(worst_errors)
+    for key, error in errors.items():
+        benchmark.extra_info[f"err_mv[{key}]"] = round(error * 1e3, 4)
+    assert errors, "no verified errors collected"
+    assert max(errors.values()) <= ERROR_BUDGET

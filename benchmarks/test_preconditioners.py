@@ -1,0 +1,35 @@
+"""E13 -- PCG preconditioner sweep, including the paper-faithful
+multigrid baseline ([6]/[12] compare VP against multigrid-PCG).
+
+The Table-I harness deliberately uses the *fastest* PCG variant we have
+(Jacobi, conservative for the speedup claims); this bench records the
+whole family so EXPERIMENTS.md can show how the baseline choice moves
+the headline numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.methods import run_pcg
+from repro.grid.generators import paper_stack
+
+# ILU is excluded: dropped-entry LU is not symmetric and CG with it
+# stagnates at this scale (see ILUPreconditioner docstring).
+PRECONDITIONERS = ("none", "jacobi", "ssor", "ic0", "multigrid")
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return paper_stack(100, seed=0, name="precond-sweep")  # C0 size
+
+
+@pytest.mark.parametrize("preconditioner", PRECONDITIONERS)
+def test_pcg_preconditioner(benchmark, stack, preconditioner, bench_once):
+    voltages, result = bench_once(
+        run_pcg, stack, preconditioner=preconditioner
+    )
+    benchmark.extra_info["iterations"] = result.iterations
+    benchmark.extra_info["memory_mb"] = round(result.memory_mb, 2)
+    benchmark.extra_info["converged"] = result.converged
+    assert result.converged

@@ -1,0 +1,35 @@
+"""E7 -- §I measured: random walkers get "trapped in the TSVs ... while
+searching a path to a power pad".
+
+With a single corner pin and the probe at the far corner, shrinking the
+inter-tier TSV resistance multiplies the mean walk length (vertical
+ping-pong burns steps without horizontal progress).
+"""
+
+from __future__ import annotations
+
+from repro.bench.ablations import random_walk_trap
+from repro.bench.reporting import ascii_table
+
+R_VALUES = (5.0, 0.5, 0.05, 0.005)
+
+
+def test_walk_lengths_blow_up(benchmark, bench_once):
+    points = bench_once(
+        random_walk_trap, 16, R_VALUES, n_walks=200, seed=0
+    )
+    rows = [
+        [p.r_tsv, f"{p.mean_walk_length:.0f}", p.max_walk_length,
+         f"{p.absorbed_fraction:.3f}"]
+        for p in points
+    ]
+    print("\nE7: random-walk lengths vs inter-tier TSV resistance")
+    print(ascii_table(
+        ["r_tsv (ohm)", "mean length", "max length", "absorbed"], rows
+    ))
+    for p in points:
+        benchmark.extra_info[f"mean_len@{p.r_tsv}"] = round(
+            p.mean_walk_length, 1
+        )
+
+    assert points[-1].mean_walk_length > 3.0 * points[0].mean_walk_length

@@ -1,0 +1,92 @@
+"""E1 -- Table I: memory and runtime of VP vs PCG vs SPICE on C0-C5.
+
+Each (circuit, method) cell of the paper's table is one benchmark; the
+cell's peak memory, iteration count, and error vs the gold reference go
+to ``extra_info`` so the JSON output carries the full table.  The
+side-by-side paper-vs-measured rendering is also available as
+``repro table1`` (same code path, ``repro.bench.table1``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_voltages
+from repro.bench.circuits import PAPER_TABLE1
+from repro.bench.methods import run_direct, run_pcg, run_spice, run_vp
+
+DEFAULT_CIRCUITS = ["C0", "C1", "C2"]
+if os.environ.get("REPRO_BENCH_FULL"):
+    DEFAULT_CIRCUITS.append("C3")
+if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper":
+    DEFAULT_CIRCUITS.extend(["C4", "C5"])
+
+#: SPICE (full LU via the netlist pipeline) is minutes-scale at C2+; by
+#: default the bench exercises it where the runtime stays tolerable.
+SPICE_CIRCUITS = ["C0", "C1"] + (
+    ["C2"] if os.environ.get("REPRO_BENCH_FULL") else []
+)
+
+#: Reference solves get expensive past ~1 M nodes.
+VERIFY_LIMIT = 1_200_000
+
+
+@pytest.fixture(scope="module")
+def references(circuit_cache):
+    cache: dict[str, np.ndarray | None] = {}
+
+    def get(name: str):
+        if name not in cache:
+            stack = circuit_cache(name)
+            if stack.n_nodes <= VERIFY_LIMIT:
+                cache[name] = run_direct(stack)[0]
+            else:
+                cache[name] = None
+        return cache[name]
+
+    return get
+
+
+def _record(benchmark, method_result, reference, voltages):
+    paper = PAPER_TABLE1.get(method_result.circuit)
+    benchmark.extra_info["circuit"] = method_result.circuit
+    benchmark.extra_info["n_nodes"] = method_result.n_nodes
+    benchmark.extra_info["memory_mb"] = round(method_result.memory_mb, 2)
+    benchmark.extra_info["iterations"] = method_result.iterations
+    benchmark.extra_info["converged"] = method_result.converged
+    if paper is not None:
+        benchmark.extra_info["paper_vp_time_s"] = paper.vp_time_s
+        benchmark.extra_info["paper_pcg_time_s"] = paper.pcg_time_s
+    if reference is not None:
+        error = compare_voltages(voltages, reference).max_error
+        benchmark.extra_info["max_error_mv"] = round(error * 1e3, 4)
+        assert error <= 0.5e-3, "paper's 0.5 mV budget violated"
+    assert method_result.converged
+
+
+@pytest.mark.parametrize("circuit", DEFAULT_CIRCUITS)
+def test_table1_vp(benchmark, circuit, circuit_cache, references, bench_once):
+    """VP column of Table I (row-based inner solver, the paper's setup)."""
+    stack = circuit_cache(circuit)
+    voltages, result = bench_once(run_vp, stack)
+    _record(benchmark, result, references(circuit), voltages)
+
+
+@pytest.mark.parametrize("circuit", DEFAULT_CIRCUITS)
+def test_table1_pcg(benchmark, circuit, circuit_cache, references, bench_once):
+    """PCG column (Jacobi preconditioner -- our strongest PCG baseline;
+    the paper-faithful multigrid variant is in test_preconditioners)."""
+    stack = circuit_cache(circuit)
+    voltages, result = bench_once(run_pcg, stack)
+    _record(benchmark, result, references(circuit), voltages)
+
+
+@pytest.mark.parametrize("circuit", SPICE_CIRCUITS)
+def test_table1_spice(benchmark, circuit, circuit_cache, references, bench_once):
+    """SPICE column: netlist export -> MNA -> sparse LU."""
+    stack = circuit_cache(circuit)
+    voltages, result = bench_once(run_spice, stack)
+    _record(benchmark, result, references(circuit), voltages)

@@ -1,0 +1,38 @@
+"""E14 (extension) -- transient cost per backward-Euler step.
+
+The practical payoff of VP's cached structure: after the first step,
+every time point is a warm-started solve that converges in very few
+outer iterations.  The bench measures a 40-step droop simulation at
+C0-like scale and records the per-step VP effort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.transient import TransientVPSolver, step_stimulus
+from repro.grid.generators import paper_stack
+
+DT = 0.2e-9
+N_STEPS = 40
+
+
+def test_transient_droop_run(benchmark, bench_once):
+    stack = paper_stack(60, seed=0, name="transient-bench")
+    base = [tier.loads.copy() for tier in stack.tiers]
+    stimulus = step_stimulus(base, t_step=5 * DT, before=0.1, after=1.0)
+
+    def run():
+        solver = TransientVPSolver(stack, capacitance=2e-9, dt=DT)
+        return solver.run(N_STEPS * DT, stimulus)
+
+    result = bench_once(run)
+    per_step = sum(result.outer_iterations) / len(result.outer_iterations)
+    benchmark.extra_info["steps"] = len(result.outer_iterations)
+    benchmark.extra_info["mean_outers_per_step"] = round(per_step, 2)
+    benchmark.extra_info["worst_droop_mV"] = round(
+        result.worst_droop * 1e3, 3
+    )
+    assert result.worst_droop > 0
+    # Warm starts keep the per-step effort tiny.
+    assert per_step <= 6

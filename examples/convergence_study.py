@@ -1,0 +1,108 @@
+"""Convergence study: VDA policies, inner solvers, and the competition.
+
+Prints, for one benchmark stack:
+
+* outer-iteration trajectories of the four VDA policies (ASCII curves);
+* VP cost with the three intra-plane solvers (row-based / cached-direct /
+  conjugate-gradient);
+* iteration counts of the classic baselines (Gauss-Seidel, SOR, PCG with
+  several preconditioners, multigrid) on the assembled 3-D system.
+
+Run:  python examples/convergence_study.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import VPConfig, VoltagePropagationSolver, synthesize_stack
+from repro.bench.ablations import inner_solver_comparison, vda_comparison
+from repro.bench.reporting import ascii_table
+from repro.grid.conductance import stack_system
+from repro.linalg.cg import cg
+from repro.linalg.multigrid import GridHierarchy, MultigridSolver
+from repro.linalg.preconditioners import make_preconditioner
+from repro.linalg.stationary import gauss_seidel, sor
+
+
+def ascii_curve(values, width: int = 52, label: str = "") -> str:
+    """Log-scale one-line-per-iteration residual curve."""
+    lines = [f"  {label}"]
+    floor = min(v for v in values if v > 0) if any(v > 0 for v in values) else 1e-16
+    top = max(values)
+    span = max(math.log10(top / floor), 1e-9)
+    for k, value in enumerate(values, 1):
+        frac = math.log10(max(value, floor) / floor) / span
+        bar = "#" * max(int(frac * width), 1)
+        lines.append(f"  {k:3d} |{bar:<{width}}| {value:.2e}")
+    return "\n".join(lines)
+
+
+def vda_curves(stack) -> None:
+    print("= VDA policy convergence (max |Vdiff| per outer iteration) =\n")
+    for policy in ("fixed", "adaptive", "secant", "anderson"):
+        result = VoltagePropagationSolver(
+            stack, VPConfig(vda=policy)
+        ).solve()
+        values = [record.max_vdiff for record in result.history]
+        print(ascii_curve(values, label=f"vda={policy} "
+                          f"({result.outer_iterations} outers)"))
+        print()
+
+
+def vda_table(stack) -> None:
+    points = vda_comparison(stack)
+    rows = [
+        [p.policy, p.outer_iterations, "yes" if p.converged else "NO",
+         f"{p.seconds * 1e3:.0f}ms", f"{p.max_error_mv:.3f}"]
+        for p in points
+    ]
+    print(ascii_table(
+        ["VDA", "outers", "conv", "time", "err (mV)"], rows
+    ))
+
+
+def inner_table(stack) -> None:
+    print("\n= intra-plane solver choice =")
+    points = inner_solver_comparison(stack)
+    rows = [
+        [p.inner, f"{p.seconds * 1e3:.0f}ms", p.outer_iterations,
+         p.inner_iterations, f"{p.max_error_mv:.3f}"]
+        for p in points
+    ]
+    print(ascii_table(
+        ["inner", "time", "outers", "inner iters", "err (mV)"], rows
+    ))
+
+
+def baseline_table(stack) -> None:
+    print("\n= classic baselines on the assembled 3-D system =")
+    matrix, rhs = stack_system(stack)
+    rows = []
+    gs = gauss_seidel(matrix, rhs, tol=1e-8, max_iter=50_000)
+    rows.append(["gauss-seidel", gs.iterations, gs.converged])
+    accelerated = sor(matrix, rhs, omega=1.5, tol=1e-8, max_iter=50_000)
+    rows.append(["sor(1.5)", accelerated.iterations, accelerated.converged])
+    for name in ("none", "jacobi", "ssor", "ic0"):
+        m = make_preconditioner(name, matrix)
+        result = cg(matrix, rhs, m_inv=m.apply, tol=1e-10)
+        rows.append([f"pcg[{name}]", result.iterations, result.converged])
+    hierarchy = GridHierarchy.from_stack(stack)
+    mg = MultigridSolver(hierarchy).solve(rhs, tol=1e-10)
+    rows.append(["multigrid", mg.iterations, mg.converged])
+    print(ascii_table(["method", "iterations", "converged"], rows))
+
+
+def main() -> None:
+    stack = synthesize_stack(24, 24, 3, rng=5)
+    print(f"stack: {stack}\n")
+    vda_curves(stack)
+    vda_table(stack)
+    inner_table(stack)
+    baseline_table(stack)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""TSV design-space exploration: how TSV density and resistance shape
+worst-case IR drop.
+
+The paper's introduction motivates fast 3-D power-grid analysis with
+exactly this kind of loop: a designer sweeping TSV counts (area cost!)
+and technologies (resistance) needs many IR-drop analyses of large grids.
+This example sweeps both knobs on a 3-tier stack and prints the worst
+drop for each design point, plus how the VP solver's reuse machinery
+(structure factored once, loads swappable) keeps per-point cost low for
+activity sweeps.
+
+Run:  python examples/tsv_design_space.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import VPConfig, VoltagePropagationSolver, synthesize_stack
+from repro.bench.reporting import ascii_table
+from repro.units import si_format
+
+SIDE = 36
+TIERS = 3
+
+
+def sweep_density_and_resistance() -> None:
+    print("= worst IR drop over the TSV design space =")
+    rows = []
+    for pitch in (2, 3, 4, 6):
+        for r_tsv in (0.2, 0.05, 0.01):
+            stack = synthesize_stack(
+                SIDE, SIDE, TIERS,
+                tsv_pitch=pitch, r_tsv=r_tsv,
+                current_per_node=1e-3, rng=1,
+            )
+            result = VoltagePropagationSolver(stack).solve()
+            drop = result.worst_ir_drop()
+            rows.append([
+                pitch,
+                stack.pillars.count,
+                r_tsv,
+                si_format(drop, "V"),
+                result.outer_iterations,
+                f"{result.stats.solve_seconds * 1e3:.0f}ms",
+            ])
+    print(
+        ascii_table(
+            ["TSV pitch", "pillars", "r_tsv (ohm)", "worst drop",
+             "VP outers", "solve"],
+            rows,
+        )
+    )
+    print(
+        "\nFewer/more-resistive TSVs -> deeper drops; the analysis cost "
+        "stays flat, which is what makes design-space sweeps practical."
+    )
+
+
+def sweep_activity_with_reuse() -> None:
+    """Per-tier activity scaling using one factorized solver."""
+    print("\n= tier-activity what-if sweep (factorizations reused) =")
+    stack = synthesize_stack(
+        SIDE, SIDE, TIERS, current_per_node=1e-3, rng=1
+    )
+    solver = VoltagePropagationSolver(stack, VPConfig(inner="direct"))
+    base_loads = [tier.loads.copy() for tier in stack.tiers]
+    rows = []
+    for activity in ((1.0, 1.0, 1.0), (2.0, 1.0, 0.5), (0.2, 0.2, 3.0)):
+        solver.update_loads(
+            [loads * a for loads, a in zip(base_loads, activity)]
+        )
+        result = solver.solve()
+        rows.append([
+            "/".join(f"{a:g}" for a in activity),
+            si_format(result.worst_ir_drop(), "V"),
+            f"{result.stats.solve_seconds * 1e3:.0f}ms",
+        ])
+    print(ascii_table(["tier activity", "worst drop", "solve"], rows))
+
+
+def main() -> None:
+    sweep_density_and_resistance()
+    sweep_activity_with_reuse()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml.  This file exists so that
+``python setup.py develop`` works on machines without the ``wheel``
+package / network access (PEP 660 editable installs need both).
+"""
+
+from setuptools import setup
+
+setup()

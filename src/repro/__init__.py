@@ -1,0 +1,69 @@
+"""repro: Voltage Propagation method for 3-D power grid IR-drop analysis.
+
+A from-scratch reproduction of C. Zhang, V. F. Pavlidis, G. De Micheli,
+"Voltage Propagation Method for 3-D Power Grid Analysis" (DATE 2012):
+the VP solver itself plus every substrate it needs -- grid/stack models,
+an IBM-style netlist pipeline with an MNA SPICE engine, and a sparse
+iterative-solver toolbox (row-based relaxation, PCG with a family of
+preconditioners, multigrid, random walks).
+
+Quick start::
+
+    from repro import paper_stack, solve_vp
+
+    stack = paper_stack(100)          # 3 tiers x 100 x 100 = 30 K nodes (C0)
+    result = solve_vp(stack)          # voltage propagation
+    print(result.worst_ir_drop())     # worst IR drop in volts
+"""
+
+from repro.grid import (
+    Grid2D,
+    PillarSet,
+    PowerGridStack,
+    paper_stack,
+    synthesize_stack,
+    stack_system,
+    validate_stack,
+)
+from repro.core import (
+    RowBasedSolver,
+    RowBasedConfig,
+    VPConfig,
+    VPResult,
+    VoltagePropagationSolver,
+    solve_vp,
+    TransientVPSolver,
+    step_stimulus,
+    pulse_train_stimulus,
+)
+from repro.linalg import cg, solve_direct
+from repro.spice import dc_operating_point, solve_stack_spice
+from repro.analysis import compare_voltages, ir_drop_report
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Grid2D",
+    "PillarSet",
+    "PowerGridStack",
+    "paper_stack",
+    "synthesize_stack",
+    "stack_system",
+    "validate_stack",
+    "RowBasedSolver",
+    "RowBasedConfig",
+    "VPConfig",
+    "VPResult",
+    "VoltagePropagationSolver",
+    "solve_vp",
+    "TransientVPSolver",
+    "step_stimulus",
+    "pulse_train_stimulus",
+    "cg",
+    "solve_direct",
+    "dc_operating_point",
+    "solve_stack_spice",
+    "compare_voltages",
+    "ir_drop_report",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Voltage-solution comparison (accuracy experiments E4 and friends)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.units import si_format
+
+
+@dataclass
+class ComparisonReport:
+    """Error metrics of a candidate solution against a reference (volts)."""
+
+    max_error: float
+    mean_error: float
+    rms_error: float
+    worst_node: tuple[int, ...]
+    n_nodes: int
+
+    def within(self, budget: float) -> bool:
+        """True when the max error satisfies the budget (the paper uses
+        0.5 mV)."""
+        return self.max_error <= budget
+
+    def __str__(self) -> str:
+        return (
+            f"max {si_format(self.max_error, 'V')} at {self.worst_node}, "
+            f"mean {si_format(self.mean_error, 'V')}, "
+            f"rms {si_format(self.rms_error, 'V')} over {self.n_nodes} nodes"
+        )
+
+
+def compare_voltages(
+    candidate: np.ndarray, reference: np.ndarray
+) -> ComparisonReport:
+    """Elementwise error metrics; shapes must match exactly."""
+    candidate = np.asarray(candidate, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if candidate.shape != reference.shape:
+        raise ReproError(
+            f"shape mismatch: candidate {candidate.shape} vs "
+            f"reference {reference.shape}"
+        )
+    if candidate.size == 0:
+        raise ReproError("empty voltage fields")
+    error = np.abs(candidate - reference)
+    worst = np.unravel_index(int(np.argmax(error)), error.shape)
+    return ComparisonReport(
+        max_error=float(error.max()),
+        mean_error=float(error.mean()),
+        rms_error=float(np.sqrt(np.mean(error**2))),
+        worst_node=tuple(int(k) for k in worst),
+        n_nodes=int(error.size),
+    )

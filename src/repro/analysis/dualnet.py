@@ -1,0 +1,113 @@
+"""Dual-net supply analysis: VDD droop plus ground bounce.
+
+A device's effective supply is ``v_vdd(node) - v_gnd(node)``: the power
+net sags below VDD while the ground net bounces above 0 V, and the two
+effects add.  The paper analyzes one net at a time (the two nets are
+independent linear problems); this helper runs VP on both and reports the
+combined margin, which is what timing sign-off actually consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GridError
+from repro.core.vp import VPConfig, VPResult, VoltagePropagationSolver
+from repro.grid.stack3d import PowerGridStack
+
+
+@dataclass
+class SupplyReport:
+    """Combined VDD/GND solution.
+
+    ``effective`` is the per-node supply ``v_vdd - v_gnd``; ``margin`` the
+    worst-case total supply collapse ``VDD - min(effective)``.
+    """
+
+    vdd: VPResult
+    gnd: VPResult
+    effective: np.ndarray
+    nominal: float
+
+    @property
+    def worst_droop(self) -> float:
+        """Worst VDD-net IR drop (V)."""
+        return float(np.max(self.nominal - self.vdd.voltages))
+
+    @property
+    def worst_bounce(self) -> float:
+        """Worst ground bounce (V)."""
+        return float(np.max(self.gnd.voltages))
+
+    @property
+    def margin(self) -> float:
+        """Worst combined supply collapse (V)."""
+        return float(self.nominal - self.effective.min())
+
+    def __str__(self) -> str:
+        return (
+            f"supply {self.nominal} V: droop {self.worst_droop * 1e3:.3f} mV "
+            f"+ bounce {self.worst_bounce * 1e3:.3f} mV -> "
+            f"worst effective supply "
+            f"{float(self.effective.min()):.6f} V "
+            f"(margin loss {self.margin * 1e3:.3f} mV)"
+        )
+
+
+def solve_supply_pair(
+    vdd_stack: PowerGridStack,
+    gnd_stack: PowerGridStack,
+    config: VPConfig | None = None,
+) -> SupplyReport:
+    """Solve matching VDD and GND stacks with VP and combine them.
+
+    The stacks must share lattice dimensions and tier count (the usual
+    construction: same floorplan, loads mirrored with opposite sign --
+    see :func:`repro.grid.generators.synthesize_stack` with
+    ``net="gnd"``).
+    """
+    if vdd_stack.net != "vdd" or gnd_stack.net != "gnd":
+        raise GridError(
+            f"expected (vdd, gnd) stacks, got "
+            f"({vdd_stack.net!r}, {gnd_stack.net!r})"
+        )
+    shape_vdd = (vdd_stack.n_tiers, vdd_stack.rows, vdd_stack.cols)
+    shape_gnd = (gnd_stack.n_tiers, gnd_stack.rows, gnd_stack.cols)
+    if shape_vdd != shape_gnd:
+        raise GridError(
+            f"stack shapes differ: {shape_vdd} vs {shape_gnd}"
+        )
+    total = vdd_stack.total_load() + gnd_stack.total_load()
+    reference = max(abs(vdd_stack.total_load()), 1e-30)
+    if abs(total) > 0.05 * reference:
+        # Currents drawn from VDD should return through ground.
+        raise GridError(
+            "net load currents are not balanced between the two nets "
+            f"(sum {total:.3e} A); did you build the GND stack with "
+            "net='gnd'?"
+        )
+
+    vdd_result = VoltagePropagationSolver(vdd_stack, config).solve()
+    gnd_result = VoltagePropagationSolver(gnd_stack, config).solve()
+    effective = vdd_result.voltages - gnd_result.voltages
+    return SupplyReport(
+        vdd=vdd_result,
+        gnd=gnd_result,
+        effective=effective,
+        nominal=vdd_stack.v_pin,
+    )
+
+
+def matched_gnd_stack(vdd_stack: PowerGridStack) -> PowerGridStack:
+    """Build the ground net matching a VDD stack: same geometry and
+    pillars, loads negated (device current returns into ground), pins at
+    0 V."""
+    gnd = vdd_stack.copy()
+    for tier in gnd.tiers:
+        tier.loads = -tier.loads
+    gnd.pillars.v_pin = 0.0
+    gnd.net = "gnd"
+    gnd.name = f"{vdd_stack.name}-gnd" if vdd_stack.name else "gnd"
+    return gnd

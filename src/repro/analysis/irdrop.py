@@ -1,0 +1,106 @@
+"""IR-drop statistics and visualization helpers.
+
+IR drop is the deviation of a node's supply voltage from the nominal rail:
+``VDD - v`` on a power net, ``v - 0`` (ground bounce) on a ground net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.units import si_format
+
+
+@dataclass
+class IRDropReport:
+    """Summary statistics of an IR-drop field (volts)."""
+
+    worst: float
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    worst_node: tuple[int, ...]
+    per_tier_worst: list[float]
+
+    def __str__(self) -> str:
+        tiers = ", ".join(
+            f"tier{l}={si_format(w, 'V')}" for l, w in enumerate(self.per_tier_worst)
+        )
+        return (
+            f"worst {si_format(self.worst, 'V')} at {self.worst_node}; "
+            f"mean {si_format(self.mean, 'V')}, "
+            f"p95 {si_format(self.p95, 'V')}, p99 {si_format(self.p99, 'V')} "
+            f"({tiers})"
+        )
+
+
+def ir_drop_field(voltages: np.ndarray, v_nominal: float) -> np.ndarray:
+    """Per-node IR drop: ``|v_nominal - v|`` (works for VDD and GND nets)."""
+    return np.abs(v_nominal - np.asarray(voltages, dtype=float))
+
+
+def ir_drop_report(voltages: np.ndarray, v_nominal: float) -> IRDropReport:
+    """Statistics of the drop field; accepts ``(T, R, C)`` or any shape
+    (per-tier stats need the 3-D shape, otherwise one pseudo-tier)."""
+    voltages = np.asarray(voltages, dtype=float)
+    if voltages.size == 0:
+        raise ReproError("empty voltage field")
+    drops = ir_drop_field(voltages, v_nominal)
+    worst_node = np.unravel_index(int(np.argmax(drops)), drops.shape)
+    if drops.ndim == 3:
+        per_tier = [float(drops[l].max()) for l in range(drops.shape[0])]
+    else:
+        per_tier = [float(drops.max())]
+    return IRDropReport(
+        worst=float(drops.max()),
+        mean=float(drops.mean()),
+        p50=float(np.percentile(drops, 50)),
+        p95=float(np.percentile(drops, 95)),
+        p99=float(np.percentile(drops, 99)),
+        worst_node=tuple(int(k) for k in worst_node),
+        per_tier_worst=per_tier,
+    )
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    field: np.ndarray,
+    *,
+    width: int = 64,
+    height: int = 24,
+    legend: bool = True,
+) -> str:
+    """Render a 2-D field as an ASCII heat map (downsampled to fit).
+
+    Used by the examples to visualize per-tier IR-drop hot spots without
+    plotting dependencies.
+    """
+    field = np.asarray(field, dtype=float)
+    if field.ndim != 2:
+        raise ReproError(f"heatmap needs a 2-D field, got shape {field.shape}")
+    rows, cols = field.shape
+    r_idx = np.linspace(0, rows - 1, min(rows, height)).round().astype(int)
+    c_idx = np.linspace(0, cols - 1, min(cols, width)).round().astype(int)
+    sampled = field[np.ix_(r_idx, c_idx)]
+    low, high = float(sampled.min()), float(sampled.max())
+    span = high - low
+    if span <= 0:
+        normalized = np.zeros_like(sampled)
+    else:
+        normalized = (sampled - low) / span
+    indices = np.minimum(
+        (normalized * len(_SHADES)).astype(int), len(_SHADES) - 1
+    )
+    lines = ["".join(_SHADES[k] for k in row) for row in indices]
+    if legend:
+        lines.append(
+            f"[{_SHADES[0]}]={si_format(low, 'V')} .. "
+            f"[{_SHADES[-1]}]={si_format(high, 'V')}"
+        )
+    return "\n".join(lines)

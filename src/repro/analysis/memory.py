@@ -1,0 +1,62 @@
+"""Memory metering.
+
+Two complementary measurements are used by the benchmarks:
+
+* :class:`MemoryMeter` -- a ``tracemalloc`` peak over a code region.
+  numpy registers its allocations with tracemalloc, so solver working sets
+  are captured; the identical protocol is applied to VP, PCG and SPICE,
+  which is what makes the Table-I memory column comparable.
+* :func:`nbytes_of` / the solvers' ``memory_bytes`` properties -- explicit
+  deterministic accounting of held arrays/factors.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+
+
+class MemoryMeter:
+    """Context manager reporting the tracemalloc peak of its block.
+
+    Nested meters work: the meter snapshots the current traced size on
+    entry and reports the in-block peak delta.
+    """
+
+    def __init__(self) -> None:
+        self.peak_bytes = 0
+        self._started_here = False
+        self._baseline = 0
+
+    def __enter__(self) -> "MemoryMeter":
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_here = True
+        self._baseline, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _, peak = tracemalloc.get_traced_memory()
+        self.peak_bytes = max(peak - self._baseline, 0)
+        if self._started_here:
+            tracemalloc.stop()
+
+
+def nbytes_of(*objects) -> int:
+    """Total bytes of numpy arrays / scipy sparse matrices / nested
+    lists-tuples-dicts thereof (non-array leaves count as zero)."""
+    total = 0
+    stack = list(objects)
+    while stack:
+        obj = stack.pop()
+        if isinstance(obj, np.ndarray):
+            total += obj.nbytes
+        elif hasattr(obj, "data") and hasattr(obj, "indices") and hasattr(obj, "indptr"):
+            total += obj.data.nbytes + obj.indices.nbytes + obj.indptr.nbytes
+        elif isinstance(obj, dict):
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set)):
+            stack.extend(obj)
+    return int(total)

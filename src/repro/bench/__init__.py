@@ -1,0 +1,39 @@
+"""Benchmark harness: circuits C0-C5, method runners, and the per-table /
+per-figure experiment drivers indexed in DESIGN.md."""
+
+from repro.bench.circuits import (
+    CIRCUITS,
+    PAPER_TABLE1,
+    CircuitSpec,
+    PaperRow,
+    build_circuit,
+    default_circuit_names,
+)
+from repro.bench.methods import (
+    MethodResult,
+    run_vp,
+    run_pcg,
+    run_spice,
+    run_direct,
+)
+from repro.bench.table1 import Table1Result, Table1Row, run_table1
+from repro.bench.reporting import ascii_table, markdown_table
+
+__all__ = [
+    "CIRCUITS",
+    "PAPER_TABLE1",
+    "CircuitSpec",
+    "PaperRow",
+    "build_circuit",
+    "default_circuit_names",
+    "MethodResult",
+    "run_vp",
+    "run_pcg",
+    "run_spice",
+    "run_direct",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+    "ascii_table",
+    "markdown_table",
+]

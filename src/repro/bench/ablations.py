@@ -1,0 +1,260 @@
+"""Ablation experiment drivers: E6-E9, E11.
+
+Each function returns plain data (lists of dataclass points) so both the
+pytest-benchmark suite and the CLI can render them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.compare import compare_voltages
+from repro.analysis.runtime import Timer
+from repro.bench.methods import run_pcg, run_vp
+from repro.core.vp import VPConfig, VoltagePropagationSolver
+from repro.grid.conductance import stack_system
+from repro.grid.generators import synthesize_stack
+from repro.linalg.direct import solve_direct
+from repro.linalg.random_walk import RandomWalkSolver, WalkModel
+from repro.linalg.stationary import gauss_seidel
+
+
+# ----------------------------------------------------------------------
+# E6: Gauss-Seidel degradation as TSV resistance shrinks (paper §III-A)
+# ----------------------------------------------------------------------
+@dataclass
+class TSVResistancePoint:
+    r_tsv: float
+    gs_iterations: int
+    gs_converged: bool
+    vp_outer_iterations: int
+    vp_converged: bool
+    vp_max_error: float
+
+
+def tsv_resistance_sweep(
+    plane_side: int = 24,
+    r_values: tuple[float, ...] = (0.5, 0.05, 0.005, 0.0005),
+    *,
+    seed: int = 0,
+    gs_tol: float = 1e-7,
+    gs_max_iter: int = 30_000,
+) -> list[TSVResistancePoint]:
+    """§III-A's diagonal-dominance argument, measured.
+
+    The *inter-tier* TSV segments contribute pure off-diagonal coupling
+    (their conductance appears symmetrically on both tiers' rows), so as
+    ``r_tsv`` drops the ratio of diagonal to off-diagonal mass decays and
+    point Gauss-Seidel needs ever more sweeps.  The pin-attachment
+    segment is held at the paper's 0.05 ohm throughout -- it adds
+    *diagonal* mass (the rail is folded in) and sweeping it too would
+    mask the effect the paper describes.  VP, which never relaxes across
+    TSVs, stays flat (and in fact speeds up: stiffer pillars make the
+    propagated-voltage fixed point easier).
+    """
+    points = []
+    for r_tsv in r_values:
+        stack = synthesize_stack(
+            plane_side, plane_side, 3, rng=seed, name=f"rtsv-{r_tsv}",
+        )
+        stack.pillars.r_seg[:-1, :] = r_tsv
+        stack.pillars.r_seg[-1, :] = 0.05
+        matrix, rhs = stack_system(stack)
+        reference = solve_direct(matrix, rhs)
+        gs = gauss_seidel(matrix, rhs, tol=gs_tol, max_iter=gs_max_iter)
+        voltages, vp = run_vp(stack)
+        error = compare_voltages(
+            voltages.ravel(), reference
+        ).max_error
+        points.append(
+            TSVResistancePoint(
+                r_tsv=r_tsv,
+                gs_iterations=gs.iterations,
+                gs_converged=gs.converged,
+                vp_outer_iterations=vp.iterations,
+                vp_converged=vp.converged,
+                vp_max_error=error,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# E7: random walks trapped in TSV pillars (paper §I)
+# ----------------------------------------------------------------------
+@dataclass
+class WalkTrapPoint:
+    r_tsv: float
+    mean_walk_length: float
+    max_walk_length: int
+    absorbed_fraction: float
+
+
+def random_walk_trap(
+    plane_side: int = 16,
+    r_values: tuple[float, ...] = (5.0, 0.5, 0.05, 0.005),
+    *,
+    n_walks: int = 300,
+    seed: int = 0,
+    max_steps: int = 200_000,
+) -> list[WalkTrapPoint]:
+    """Mean walk length vs TSV resistance -- §I's trap claim, measured.
+
+    Setup: pins only at the corner pillar (a sparse peripheral bump map),
+    the probe node at the opposite corner of the bottom tier, and the
+    pin-attachment segment held at the paper's 0.05 ohm while only the
+    *inter-tier* TSV resistance sweeps.  A walker must cross the plane to
+    reach the pin; every pillar it touches on the way captures it for
+    ~``1/p_escape`` steps with ``p_escape ~ g_plane / (g_plane + 2 g_tsv)``,
+    so shrinking ``r_tsv`` inflates walk lengths without changing the
+    horizontal distance to cover ("trapped in the TSVs ... while searching
+    a path to a power pad").
+    """
+    points = []
+    for r_tsv in r_values:
+        stack = synthesize_stack(
+            plane_side, plane_side, 3, rng=seed, name=f"rw-{r_tsv}",
+        )
+        # Pins: only the pillar nearest the (0, 0) corner.
+        stack.pillars.has_pin[:] = False
+        stack.pillars.has_pin[0] = True
+        # Sweep inter-tier segments; keep the pin segment fixed.
+        stack.pillars.r_seg[:-1, :] = r_tsv
+        stack.pillars.r_seg[-1, :] = 0.05
+        model = WalkModel.from_stack(stack)
+        solver = RandomWalkSolver(model, rng=seed)
+        # Probe: bottom tier, far corner (maximal horizontal distance).
+        probe = plane_side * plane_side - 1
+        estimate = solver.estimate_nodes(
+            [probe], n_walks=n_walks, max_steps=max_steps
+        )
+        points.append(
+            WalkTrapPoint(
+                r_tsv=r_tsv,
+                mean_walk_length=estimate.mean_length,
+                max_walk_length=estimate.max_length,
+                absorbed_fraction=estimate.absorbed_fraction,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# E8: VDA policy comparison
+# ----------------------------------------------------------------------
+@dataclass
+class VDAPoint:
+    policy: str
+    outer_iterations: int
+    converged: bool
+    seconds: float
+    max_error_mv: float
+
+
+def vda_comparison(
+    stack, policies: tuple[str, ...] = ("fixed", "adaptive", "secant", "anderson")
+) -> list[VDAPoint]:
+    """Outer-iteration counts of the VDA policies on one stack."""
+    matrix, rhs = stack_system(stack)
+    reference = solve_direct(matrix, rhs)
+    points = []
+    for policy in policies:
+        with Timer() as timer:
+            result = VoltagePropagationSolver(
+                stack, VPConfig(vda=policy)
+            ).solve()
+        error = compare_voltages(result.flat_voltages(), reference).max_error
+        points.append(
+            VDAPoint(
+                policy=policy,
+                outer_iterations=result.outer_iterations,
+                converged=result.converged,
+                seconds=timer.seconds,
+                max_error_mv=error * 1e3,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# E9: tier-count scaling (paper conclusion: more tiers benefit more)
+# ----------------------------------------------------------------------
+@dataclass
+class TierScalingPoint:
+    n_tiers: int
+    n_nodes: int
+    vp_seconds: float
+    pcg_seconds: float
+    pcg_iterations: int
+
+    @property
+    def speedup(self) -> float:
+        return self.pcg_seconds / self.vp_seconds if self.vp_seconds else 0.0
+
+
+def tier_scaling(
+    plane_side: int = 40,
+    tier_counts: tuple[int, ...] = (2, 3, 4, 5),
+    *,
+    seed: int = 0,
+    pcg_preconditioner: str = "jacobi",
+) -> list[TierScalingPoint]:
+    """VP-vs-PCG speedup as the stack grows taller at fixed tier size."""
+    points = []
+    for n_tiers in tier_counts:
+        stack = synthesize_stack(
+            plane_side, plane_side, n_tiers, rng=seed,
+            name=f"tiers-{n_tiers}",
+        )
+        _, vp = run_vp(stack)
+        _, pcg = run_pcg(stack, preconditioner=pcg_preconditioner)
+        points.append(
+            TierScalingPoint(
+                n_tiers=n_tiers,
+                n_nodes=stack.n_nodes,
+                vp_seconds=vp.total_seconds,
+                pcg_seconds=pcg.total_seconds,
+                pcg_iterations=pcg.iterations,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# E11: inner-solver choice
+# ----------------------------------------------------------------------
+@dataclass
+class InnerSolverPoint:
+    inner: str
+    seconds: float
+    outer_iterations: int
+    inner_iterations: int
+    max_error_mv: float
+    converged: bool
+
+
+def inner_solver_comparison(
+    stack, inners: tuple[str, ...] = ("rb", "direct", "cg")
+) -> list[InnerSolverPoint]:
+    """VP cost with the row-based / cached-direct / PCG intra-plane
+    solvers (design decision called out in DESIGN.md)."""
+    matrix, rhs = stack_system(stack)
+    reference = solve_direct(matrix, rhs)
+    points = []
+    for inner in inners:
+        with Timer() as timer:
+            result = VoltagePropagationSolver(
+                stack, VPConfig(inner=inner)
+            ).solve()
+        error = compare_voltages(result.flat_voltages(), reference).max_error
+        points.append(
+            InnerSolverPoint(
+                inner=inner,
+                seconds=timer.seconds,
+                outer_iterations=result.outer_iterations,
+                inner_iterations=result.stats.total_inner_iterations,
+                max_error_mv=error * 1e3,
+                converged=result.converged,
+            )
+        )
+    return points

@@ -1,0 +1,118 @@
+"""The benchmark circuit suite C0-C5 and the paper's Table-I reference.
+
+The paper extends IBM TAU 2011-style planar grids into six three-tier
+stacks with 30 K to 12 M nodes (uniform TSVs at one node in four,
+0.05-ohm TSVs).  Tier lattice sides are chosen so ``3 * side^2`` matches
+the paper's node counts:
+
+=======  ==========  ============
+circuit  plane side  total nodes
+=======  ==========  ============
+C0       100         30,000
+C1       173         89,787
+C2       277         230,187
+C3       577         998,787
+C4       1000        3,000,000
+C5       2000        12,000,000
+=======  ==========  ============
+
+C0-C2 run at *paper scale by default*.  C3 joins with ``REPRO_BENCH_FULL=1``;
+C4/C5 only with ``REPRO_BENCH_SCALE=paper`` (hours in pure Python -- the
+harness supports them unchanged, per the repro-band guidance that shapes,
+not absolute numbers, are the target).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.grid.generators import paper_stack
+from repro.grid.stack3d import PowerGridStack
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Construction parameters of one benchmark circuit."""
+
+    name: str
+    plane_side: int
+    n_tiers: int = 3
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_tiers * self.plane_side * self.plane_side
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The paper's Table-I numbers for one circuit (memory in MB, time in
+    seconds; ``None`` marks SPICE's out-of-memory entries)."""
+
+    n_nodes: int
+    vp_memory_mb: float
+    vp_time_s: float
+    pcg_memory_mb: float
+    pcg_time_s: float
+    spice_memory_mb: float | None
+    spice_time_s: float | None
+
+    @property
+    def speedup_vs_pcg(self) -> float:
+        return self.pcg_time_s / self.vp_time_s
+
+    @property
+    def memory_ratio_vs_pcg(self) -> float:
+        return self.pcg_memory_mb / self.vp_memory_mb
+
+
+CIRCUITS: dict[str, CircuitSpec] = {
+    "C0": CircuitSpec("C0", 100),
+    "C1": CircuitSpec("C1", 173),
+    "C2": CircuitSpec("C2", 277),
+    "C3": CircuitSpec("C3", 577),
+    "C4": CircuitSpec("C4", 1000),
+    "C5": CircuitSpec("C5", 2000),
+}
+
+#: Table I of the paper, verbatim.
+PAPER_TABLE1: dict[str, PaperRow] = {
+    "C0": PaperRow(30_000, 1.5, 0.516, 3.1, 6.063, 330.0, 512.7),
+    "C1": PaperRow(90_000, 3.2, 1.453, 7.8, 22.47, 1100.0, 2905.0),
+    "C2": PaperRow(230_000, 6.9, 3.625, 18.5, 50.71, 3000.0, 22394.0),
+    "C3": PaperRow(1_000_000, 27.0, 15.75, 77.0, 264.8, None, None),
+    "C4": PaperRow(3_000_000, 80.0, 49.29, 230.0, 877.5, None, None),
+    "C5": PaperRow(12_000_000, 322.0, 219.7, 880.0, 4843.0, None, None),
+}
+
+
+def build_circuit(name: str, seed: int = 0, **overrides) -> PowerGridStack:
+    """Materialize one benchmark circuit with the paper's construction."""
+    try:
+        spec = CIRCUITS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown circuit {name!r}; use one of {sorted(CIRCUITS)}"
+        ) from None
+    return paper_stack(
+        spec.plane_side, spec.n_tiers, seed=seed, name=name, **overrides
+    )
+
+
+def default_circuit_names() -> list[str]:
+    """Circuits included at the current benchmark scale (see module doc)."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "").lower()
+    if scale == "paper":
+        return ["C0", "C1", "C2", "C3", "C4", "C5"]
+    names = ["C0", "C1", "C2"]
+    if os.environ.get("REPRO_BENCH_FULL"):
+        names.append("C3")
+    return names
+
+
+def spice_node_limit() -> int:
+    """Largest circuit the SPICE column runs on (the paper's machine died
+    above 230 K nodes; we mirror that cutoff, overridable via
+    ``REPRO_SPICE_NODE_LIMIT``)."""
+    return int(os.environ.get("REPRO_SPICE_NODE_LIMIT", 300_000))

@@ -1,0 +1,177 @@
+"""Uniform method runners for the Table-I columns.
+
+Every runner builds its solver from scratch inside one
+:class:`~repro.analysis.memory.MemoryMeter` region and reports the same
+:class:`MethodResult` shape, so times and peak memories are directly
+comparable across VP, PCG, and SPICE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.memory import MemoryMeter
+from repro.analysis.runtime import Timer
+from repro.core.vp import VPConfig, VoltagePropagationSolver
+from repro.errors import ReproError
+from repro.grid.conductance import stack_system
+from repro.grid.stack3d import PowerGridStack
+from repro.linalg.cg import cg
+from repro.linalg.direct import DirectSolver
+from repro.linalg.multigrid import GridHierarchy, MultigridPreconditioner
+from repro.linalg.preconditioners import make_preconditioner
+from repro.spice.dc import solve_stack_spice
+
+#: PCG stopping rule used by the harness: relative residual chosen so the
+#: resulting voltage error sits comfortably inside the paper's 0.5 mV
+#: budget on the benchmark suite (verified by experiment E4).
+PCG_DEFAULT_TOL = 1e-8
+
+
+@dataclass
+class MethodResult:
+    """One method's cost/quality numbers on one circuit."""
+
+    method: str
+    circuit: str
+    n_nodes: int
+    total_seconds: float
+    setup_seconds: float
+    solve_seconds: float
+    peak_memory_bytes: int
+    explicit_memory_bytes: int
+    iterations: int
+    converged: bool
+    max_error: float | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def memory_mb(self) -> float:
+        return self.peak_memory_bytes / 1e6
+
+
+def run_vp(
+    stack: PowerGridStack,
+    config: VPConfig | None = None,
+    **config_kwargs,
+) -> tuple[np.ndarray, MethodResult]:
+    """The proposed method (defaults: row-based inner solver, adaptive
+    VDA, 0.1 mV outer tolerance)."""
+    if config is None:
+        config = VPConfig(**config_kwargs)
+    elif config_kwargs:
+        raise ReproError("pass either a VPConfig or keyword overrides, not both")
+    with MemoryMeter() as memory, Timer() as timer:
+        solver = VoltagePropagationSolver(stack, config)
+        result = solver.solve()
+    explicit = solver.memory_bytes
+    method_result = MethodResult(
+        method=f"vp[{config.inner}]",
+        circuit=stack.name,
+        n_nodes=stack.n_nodes,
+        total_seconds=timer.seconds,
+        setup_seconds=result.stats.setup_seconds,
+        solve_seconds=result.stats.solve_seconds,
+        peak_memory_bytes=memory.peak_bytes,
+        explicit_memory_bytes=explicit,
+        iterations=result.outer_iterations,
+        converged=result.converged,
+        extra={
+            "inner_iterations": result.stats.total_inner_iterations,
+            "phase_seconds": dict(result.stats.phase_seconds),
+            "max_vdiff": result.max_vdiff,
+        },
+    )
+    return result.voltages, method_result
+
+
+def run_pcg(
+    stack: PowerGridStack,
+    preconditioner: str = "jacobi",
+    tol: float = PCG_DEFAULT_TOL,
+    max_iter: int | None = None,
+    **precond_kwargs,
+) -> tuple[np.ndarray, MethodResult]:
+    """The PCG baseline on the assembled 3-D system.
+
+    ``preconditioner``: ``none`` / ``jacobi`` / ``ssor`` / ``ic0`` /
+    ``ilu`` / ``multigrid`` (the paper's [6]-style baseline).
+    """
+    with MemoryMeter() as memory, Timer() as timer:
+        with Timer() as setup_timer:
+            matrix, rhs = stack_system(stack)
+            if preconditioner == "multigrid":
+                hierarchy = GridHierarchy.from_matrix(
+                    matrix, stack.n_tiers, stack.rows, stack.cols,
+                    **precond_kwargs,
+                )
+                m = MultigridPreconditioner(hierarchy)
+                explicit = hierarchy.memory_bytes
+            else:
+                m = make_preconditioner(preconditioner, matrix, **precond_kwargs)
+                explicit = m.memory_bytes
+            explicit += (
+                matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+            )
+        result = cg(matrix, rhs, m_inv=m.apply, tol=tol, max_iter=max_iter)
+    voltages = result.x.reshape(stack.n_tiers, stack.rows, stack.cols)
+    method_result = MethodResult(
+        method=f"pcg[{preconditioner}]",
+        circuit=stack.name,
+        n_nodes=stack.n_nodes,
+        total_seconds=timer.seconds,
+        setup_seconds=setup_timer.seconds,
+        solve_seconds=timer.seconds - setup_timer.seconds,
+        peak_memory_bytes=memory.peak_bytes,
+        explicit_memory_bytes=explicit,
+        iterations=result.iterations,
+        converged=result.converged,
+        extra={"residual_norm": result.residual_norm},
+    )
+    return voltages, method_result
+
+
+def run_spice(stack: PowerGridStack) -> tuple[np.ndarray, MethodResult]:
+    """The SPICE column: netlist export -> MNA -> sparse LU."""
+    with MemoryMeter() as memory, Timer() as timer:
+        voltages, solution = solve_stack_spice(stack)
+    method_result = MethodResult(
+        method="spice",
+        circuit=stack.name,
+        n_nodes=stack.n_nodes,
+        total_seconds=timer.seconds,
+        setup_seconds=solution.build_seconds,
+        solve_seconds=solution.solve_seconds,
+        peak_memory_bytes=memory.peak_bytes,
+        explicit_memory_bytes=solution.memory_bytes,
+        iterations=1,
+        converged=True,
+        extra={"factor_nnz": solution.factor_nnz},
+    )
+    return voltages, method_result
+
+
+def run_direct(stack: PowerGridStack) -> tuple[np.ndarray, MethodResult]:
+    """Direct solve of the assembled system (reference voltages without
+    the netlist pipeline overhead)."""
+    with MemoryMeter() as memory, Timer() as timer:
+        matrix, rhs = stack_system(stack)
+        solver = DirectSolver(matrix)
+        x = solver.solve(rhs)
+    voltages = x.reshape(stack.n_tiers, stack.rows, stack.cols)
+    method_result = MethodResult(
+        method="direct",
+        circuit=stack.name,
+        n_nodes=stack.n_nodes,
+        total_seconds=timer.seconds,
+        setup_seconds=0.0,
+        solve_seconds=timer.seconds,
+        peak_memory_bytes=memory.peak_bytes,
+        explicit_memory_bytes=solver.memory_bytes,
+        iterations=1,
+        converged=True,
+        extra={"factor_nnz": solver.factor_nnz},
+    )
+    return voltages, method_result

@@ -1,0 +1,197 @@
+"""Table-I regeneration (experiment E1) plus the derived series E2-E4.
+
+``run_table1`` runs VP, PCG and SPICE (up to the SPICE node cutoff) on the
+requested circuits, verifies every method against a reference solution,
+and renders the measured numbers side by side with the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.compare import compare_voltages
+from repro.bench.circuits import (
+    PAPER_TABLE1,
+    build_circuit,
+    default_circuit_names,
+    spice_node_limit,
+)
+from repro.bench.methods import (
+    MethodResult,
+    run_direct,
+    run_pcg,
+    run_spice,
+    run_vp,
+)
+from repro.bench.reporting import ascii_table, markdown_table
+from repro.errors import ReproError
+
+#: Error budget of the paper (volts).
+ERROR_BUDGET = 0.5e-3
+
+#: Largest system the verification reference (assembled direct solve) is
+#: computed for; beyond it VP and PCG are cross-checked against each other.
+REFERENCE_NODE_LIMIT = 1_200_000
+
+
+@dataclass
+class Table1Row:
+    """Measured results of one circuit."""
+
+    circuit: str
+    n_nodes: int
+    vp: MethodResult | None = None
+    pcg: MethodResult | None = None
+    spice: MethodResult | None = None
+    reference_kind: str = ""
+
+    @property
+    def speedup_vs_pcg(self) -> float | None:
+        if self.vp is None or self.pcg is None or self.vp.total_seconds == 0:
+            return None
+        return self.pcg.total_seconds / self.vp.total_seconds
+
+    @property
+    def memory_ratio_vs_pcg(self) -> float | None:
+        if self.vp is None or self.pcg is None or self.vp.peak_memory_bytes == 0:
+            return None
+        return self.pcg.peak_memory_bytes / self.vp.peak_memory_bytes
+
+
+@dataclass
+class Table1Result:
+    """Everything E1 produced, with renderers."""
+
+    rows: list[Table1Row] = field(default_factory=list)
+    pcg_preconditioner: str = "jacobi"
+    seed: int = 0
+
+    def render(self) -> str:
+        headers = [
+            "circuit", "nodes",
+            "VP mem(MB)", "VP time", "PCG mem(MB)", "PCG time",
+            "SPICE mem(MB)", "SPICE time",
+            "speedup", "paper speedup",
+            "VP err(mV)", "PCG err(mV)",
+        ]
+        body = []
+        for row in self.rows:
+            paper = PAPER_TABLE1.get(row.circuit)
+            body.append([
+                row.circuit,
+                row.n_nodes,
+                f"{row.vp.memory_mb:.1f}" if row.vp else None,
+                f"{row.vp.total_seconds:.3g}s" if row.vp else None,
+                f"{row.pcg.memory_mb:.1f}" if row.pcg else None,
+                f"{row.pcg.total_seconds:.3g}s" if row.pcg else None,
+                f"{row.spice.memory_mb:.1f}" if row.spice else None,
+                f"{row.spice.total_seconds:.3g}s" if row.spice else None,
+                f"{row.speedup_vs_pcg:.1f}x" if row.speedup_vs_pcg else None,
+                f"{paper.speedup_vs_pcg:.1f}x" if paper else None,
+                f"{row.vp.max_error * 1e3:.3f}" if row.vp and row.vp.max_error is not None else None,
+                f"{row.pcg.max_error * 1e3:.3f}" if row.pcg and row.pcg.max_error is not None else None,
+            ])
+        return ascii_table(headers, body)
+
+    def to_markdown(self) -> str:
+        headers = [
+            "circuit", "nodes",
+            "VP mem (MB)", "VP time (s)",
+            "PCG mem (MB)", "PCG time (s)",
+            "SPICE mem (MB)", "SPICE time (s)",
+            "speedup VP/PCG", "paper speedup", "mem ratio", "paper mem ratio",
+        ]
+        body = []
+        for row in self.rows:
+            paper = PAPER_TABLE1.get(row.circuit)
+            body.append([
+                row.circuit, row.n_nodes,
+                f"{row.vp.memory_mb:.1f}" if row.vp else None,
+                f"{row.vp.total_seconds:.3f}" if row.vp else None,
+                f"{row.pcg.memory_mb:.1f}" if row.pcg else None,
+                f"{row.pcg.total_seconds:.3f}" if row.pcg else None,
+                f"{row.spice.memory_mb:.1f}" if row.spice else None,
+                f"{row.spice.total_seconds:.3f}" if row.spice else None,
+                f"{row.speedup_vs_pcg:.1f}" if row.speedup_vs_pcg else None,
+                f"{paper.speedup_vs_pcg:.1f}" if paper else None,
+                f"{row.memory_ratio_vs_pcg:.1f}" if row.memory_ratio_vs_pcg else None,
+                f"{paper.memory_ratio_vs_pcg:.1f}" if paper else None,
+            ])
+        return markdown_table(headers, body)
+
+    def within_budget(self, budget: float = ERROR_BUDGET) -> bool:
+        """True when every verified method error meets the budget."""
+        for row in self.rows:
+            for result in (row.vp, row.pcg, row.spice):
+                if result and result.max_error is not None:
+                    if result.max_error > budget:
+                        return False
+        return True
+
+
+def run_table1(
+    circuits: list[str] | None = None,
+    *,
+    methods: tuple[str, ...] = ("vp", "pcg", "spice"),
+    pcg_preconditioner: str = "jacobi",
+    seed: int = 0,
+    verify: bool = True,
+    vp_kwargs: dict | None = None,
+) -> Table1Result:
+    """Run experiment E1.
+
+    ``circuits`` defaults to the current benchmark scale (see
+    :func:`repro.bench.circuits.default_circuit_names`).
+    """
+    if circuits is None:
+        circuits = default_circuit_names()
+    unknown = [m for m in methods if m not in ("vp", "pcg", "spice")]
+    if unknown:
+        raise ReproError(f"unknown methods {unknown}")
+    result = Table1Result(pcg_preconditioner=pcg_preconditioner, seed=seed)
+    vp_kwargs = vp_kwargs or {}
+
+    for name in circuits:
+        stack = build_circuit(name, seed=seed)
+        row = Table1Row(circuit=name, n_nodes=stack.n_nodes)
+
+        voltages: dict[str, np.ndarray] = {}
+        if "vp" in methods:
+            v, row.vp = run_vp(stack, **vp_kwargs)
+            voltages["vp"] = v
+        if "pcg" in methods:
+            v, row.pcg = run_pcg(stack, preconditioner=pcg_preconditioner)
+            voltages["pcg"] = v
+        if "spice" in methods and stack.n_nodes <= spice_node_limit():
+            v, row.spice = run_spice(stack)
+            voltages["spice"] = v
+
+        if verify and voltages:
+            reference, kind = _reference_voltages(stack, voltages)
+            row.reference_kind = kind
+            for key, method_result in (
+                ("vp", row.vp), ("pcg", row.pcg), ("spice", row.spice)
+            ):
+                if method_result is not None and key in voltages:
+                    method_result.max_error = compare_voltages(
+                        voltages[key], reference
+                    ).max_error
+        result.rows.append(row)
+    return result
+
+
+def _reference_voltages(
+    stack, voltages: dict[str, np.ndarray]
+) -> tuple[np.ndarray, str]:
+    """Reference for error metrics: SPICE when it ran, otherwise an
+    assembled direct solve (bounded), otherwise the PCG solution."""
+    if "spice" in voltages:
+        return voltages["spice"], "spice"
+    if stack.n_nodes <= REFERENCE_NODE_LIMIT:
+        reference, _ = run_direct(stack)
+        return reference, "direct"
+    if "pcg" in voltages:
+        return voltages["pcg"], "pcg (cross-check)"
+    return next(iter(voltages.values())), "self"

@@ -1,0 +1,340 @@
+"""Command-line interface.
+
+Subcommands (all offline, deterministic with ``--seed``):
+
+* ``repro generate`` -- synthesize a benchmark stack and write its netlist;
+* ``repro solve`` -- solve a netlist (or synthetic circuit) with VP, PCG,
+  or SPICE and write a ``.solution`` file;
+* ``repro compare`` -- contest-style diff of two solution files;
+* ``repro table1`` -- regenerate Table I of the paper;
+* ``repro sweep-tsv`` -- experiment E6 (GS degradation vs TSV resistance);
+* ``repro rw-trap`` -- experiment E7 (random-walk trap);
+* ``repro transient`` -- experiment E14 (RC transient droop);
+* ``repro phases`` -- experiment E10 (VP phase breakdown).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.analysis.irdrop import ascii_heatmap, ir_drop_report
+from repro.bench.ablations import random_walk_trap, tsv_resistance_sweep
+from repro.bench.circuits import CIRCUITS, build_circuit
+from repro.bench.figures import phase_breakdown
+from repro.bench.reporting import ascii_table
+from repro.bench.table1 import run_table1
+from repro.core.vp import VPConfig, VoltagePropagationSolver
+from repro.errors import ReproError
+from repro.grid.generators import synthesize_stack
+from repro.io.solution import (
+    compare_solution_files,
+    stack_solution_dict,
+    write_solution,
+)
+from repro.netlist.parser import read_netlist
+from repro.netlist.writer import stack_to_netlist, write_netlist
+from repro.spice.dc import dc_operating_point
+from repro.units import si_format
+
+
+def _add_stack_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--circuit", choices=sorted(CIRCUITS), default=None,
+        help="benchmark circuit name (overrides --side/--tiers)",
+    )
+    parser.add_argument("--side", type=int, default=40, help="tier lattice side")
+    parser.add_argument("--tiers", type=int, default=3, help="number of tiers")
+    parser.add_argument("--r-tsv", type=float, default=0.05, help="TSV resistance (ohm)")
+    parser.add_argument("--vdd", type=float, default=1.8, help="pin voltage (V)")
+    parser.add_argument("--seed", type=int, default=0, help="synthesis seed")
+
+
+def _build_stack(args: argparse.Namespace):
+    if args.circuit:
+        return build_circuit(args.circuit, seed=args.seed)
+    return synthesize_stack(
+        args.side, args.side, args.tiers,
+        r_tsv=args.r_tsv, v_pin=args.vdd, rng=args.seed,
+        name=f"cli-{args.side}x{args.side}x{args.tiers}",
+    )
+
+
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    stack = _build_stack(args)
+    netlist = stack_to_netlist(stack)
+    write_netlist(netlist, args.output)
+    stats = netlist.stats()
+    print(
+        f"wrote {args.output}: {stats['nodes']} nodes, "
+        f"{stats['resistors']}R {stats['current_sources']}I "
+        f"{stats['voltage_sources']}V"
+    )
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    if args.netlist:
+        netlist = read_netlist(args.netlist)
+        if args.method != "spice":
+            print(
+                "note: netlist input is solved with the SPICE engine "
+                "(VP needs the structured stack; use --circuit/--side)",
+                file=sys.stderr,
+            )
+        solution = dc_operating_point(netlist)
+        if args.output:
+            write_solution(solution.voltages, args.output)
+            print(f"wrote {args.output} ({len(solution.voltages)} nodes)")
+        drops = [v for v in solution.voltages.values()]
+        print(
+            f"solved {solution.n_nodes} nodes in "
+            f"{solution.solve_seconds:.3f}s; "
+            f"voltage range [{min(drops):.6f}, {max(drops):.6f}] V"
+        )
+        return 0
+
+    stack = _build_stack(args)
+    if args.method == "vp":
+        solver = VoltagePropagationSolver(
+            stack, VPConfig(inner=args.inner, vda=args.vda)
+        )
+        result = solver.solve()
+        voltages = result.voltages
+        print(
+            f"VP converged={result.converged} in {result.outer_iterations} "
+            f"outer iterations, max |Vdiff| = "
+            f"{si_format(result.max_vdiff, 'V')}"
+        )
+    elif args.method == "pcg":
+        from repro.bench.methods import run_pcg
+
+        voltages, method_result = run_pcg(stack, preconditioner=args.preconditioner)
+        print(
+            f"PCG[{args.preconditioner}] converged={method_result.converged} "
+            f"in {method_result.iterations} iterations, "
+            f"{method_result.total_seconds:.3f}s"
+        )
+    else:  # spice
+        from repro.bench.methods import run_spice
+
+        voltages, method_result = run_spice(stack)
+        print(f"SPICE solved in {method_result.total_seconds:.3f}s")
+
+    report = ir_drop_report(voltages, stack.v_pin)
+    print(f"IR drop: {report}")
+    if args.heatmap:
+        tier = int(np.argmax(report.per_tier_worst))
+        print(f"tier {tier} IR-drop map:")
+        print(ascii_heatmap(np.abs(stack.v_pin - voltages[tier])))
+    if args.output:
+        write_solution(stack_solution_dict(stack, voltages), args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    metrics = compare_solution_files(args.candidate, args.reference)
+    print(
+        f"common nodes: {int(metrics['common_nodes'])}, "
+        f"missing: {int(metrics['missing'])}"
+    )
+    print(
+        f"max error: {si_format(metrics['max_error'], 'V')}, "
+        f"mean error: {si_format(metrics['mean_error'], 'V')}"
+    )
+    budget = args.budget
+    ok = metrics["max_error"] <= budget
+    print(f"budget {si_format(budget, 'V')}: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    circuits = args.circuits.split(",") if args.circuits else None
+    result = run_table1(
+        circuits,
+        pcg_preconditioner=args.preconditioner,
+        seed=args.seed,
+        verify=not args.no_verify,
+    )
+    print(result.render())
+    if args.markdown:
+        print()
+        print(result.to_markdown())
+    return 0
+
+
+def cmd_sweep_tsv(args: argparse.Namespace) -> int:
+    r_values = tuple(float(r) for r in args.r_values.split(","))
+    points = tsv_resistance_sweep(args.side, r_values, seed=args.seed)
+    rows = [
+        [
+            p.r_tsv, p.gs_iterations,
+            "yes" if p.gs_converged else "NO",
+            p.vp_outer_iterations,
+            f"{p.vp_max_error * 1e3:.4f}",
+        ]
+        for p in points
+    ]
+    print(
+        ascii_table(
+            ["r_tsv (ohm)", "GS iters", "GS conv", "VP outers", "VP err (mV)"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_rw_trap(args: argparse.Namespace) -> int:
+    r_values = tuple(float(r) for r in args.r_values.split(","))
+    points = random_walk_trap(
+        args.side, r_values, n_walks=args.walks, seed=args.seed
+    )
+    rows = [
+        [p.r_tsv, f"{p.mean_walk_length:.1f}", p.max_walk_length,
+         f"{p.absorbed_fraction:.3f}"]
+        for p in points
+    ]
+    print(
+        ascii_table(
+            ["r_tsv (ohm)", "mean walk len", "max walk len", "absorbed"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_transient(args: argparse.Namespace) -> int:
+    from repro.core.transient import TransientVPSolver, step_stimulus
+
+    stack = _build_stack(args)
+    base_loads = [tier.loads.copy() for tier in stack.tiers]
+    stimulus = step_stimulus(
+        base_loads, t_step=args.t_step, before=args.before, after=args.after
+    )
+    solver = TransientVPSolver(stack, capacitance=args.cap, dt=args.dt)
+    result = solver.run(args.t_end, stimulus)
+    steps = len(result.outer_iterations)
+    print(
+        f"{steps} backward-Euler steps of {si_format(args.dt, 's')}; "
+        f"{sum(result.outer_iterations) / max(steps, 1):.1f} VP outer "
+        "iterations per step"
+    )
+    print(f"worst droop: {si_format(result.worst_droop, 'V')}")
+    print(
+        f"minimum voltage: {si_format(float(result.worst_voltage.min()), 'V')} "
+        f"(nominal {si_format(stack.v_pin, 'V')})"
+    )
+    return 0
+
+
+def cmd_phases(args: argparse.Namespace) -> int:
+    stack = _build_stack(args)
+    breakdown = phase_breakdown(stack)
+    rows = [[k, f"{v:.4f}"] for k, v in breakdown.items()]
+    print(ascii_table(["phase", "seconds"], rows))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="3-D power grid IR-drop analysis (DATE 2012 VP method)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesize a stack and write a netlist")
+    _add_stack_arguments(p)
+    p.add_argument("--output", "-o", required=True, help="netlist path")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("solve", help="solve a circuit and report IR drop")
+    _add_stack_arguments(p)
+    p.add_argument("--netlist", help="solve this netlist file (SPICE engine)")
+    p.add_argument(
+        "--method", choices=("vp", "pcg", "spice"), default="vp"
+    )
+    p.add_argument("--inner", choices=("rb", "direct", "cg"), default="rb")
+    p.add_argument(
+        "--vda",
+        choices=("auto", "fixed", "adaptive", "secant", "anderson"),
+        default="auto",
+    )
+    p.add_argument(
+        "--preconditioner", default="jacobi",
+        choices=("none", "jacobi", "ssor", "ic0", "ilu", "multigrid"),
+    )
+    p.add_argument("--heatmap", action="store_true", help="print IR-drop map")
+    p.add_argument("--output", "-o", help="write .solution file")
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("compare", help="diff two .solution files")
+    p.add_argument("candidate")
+    p.add_argument("reference")
+    p.add_argument("--budget", type=float, default=0.5e-3, help="volts")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("table1", help="regenerate the paper's Table I")
+    p.add_argument("--circuits", help="comma-separated subset, e.g. C0,C1")
+    p.add_argument(
+        "--preconditioner", default="jacobi",
+        choices=("none", "jacobi", "ssor", "ic0", "ilu", "multigrid"),
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--markdown", action="store_true")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("sweep-tsv", help="E6: GS vs TSV resistance")
+    p.add_argument("--side", type=int, default=24)
+    p.add_argument("--r-values", default="0.5,0.05,0.005,0.0005")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_sweep_tsv)
+
+    p = sub.add_parser("rw-trap", help="E7: random-walk trap")
+    p.add_argument("--side", type=int, default=16)
+    p.add_argument("--r-values", default="5,0.5,0.05")
+    p.add_argument("--walks", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_rw_trap)
+
+    p = sub.add_parser(
+        "transient", help="E14: transient droop (RC backward Euler)"
+    )
+    _add_stack_arguments(p)
+    p.add_argument("--cap", type=float, default=2e-9, help="decap per node (F)")
+    p.add_argument("--dt", type=float, default=1e-10, help="time step (s)")
+    p.add_argument("--t-end", type=float, default=2e-8, help="end time (s)")
+    p.add_argument("--t-step", type=float, default=1e-9,
+                   help="activity-step time (s)")
+    p.add_argument("--before", type=float, default=0.1,
+                   help="activity before the step")
+    p.add_argument("--after", type=float, default=1.0,
+                   help="activity after the step")
+    p.set_defaults(func=cmd_transient)
+
+    p = sub.add_parser("phases", help="E10: VP phase breakdown")
+    _add_stack_arguments(p)
+    p.set_defaults(func=cmd_phases)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

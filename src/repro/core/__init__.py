@@ -1,0 +1,53 @@
+"""The paper's contribution: the row-based 2-D solver and the 3-D
+Voltage Propagation method built on top of it."""
+
+from repro.core.rowbased import (
+    RowBasedConfig,
+    RowBasedResult,
+    RowBasedSolver,
+    estimate_optimal_omega,
+)
+from repro.core.tsv import plane_matrices, pillar_drawn_currents
+from repro.core.vda import (
+    VDAPolicy,
+    FixedEtaVDA,
+    AdaptiveEtaVDA,
+    PerPillarSecantVDA,
+    AndersonVDA,
+    make_vda_policy,
+)
+from repro.core.vp import (
+    VPConfig,
+    VPResult,
+    VoltagePropagationSolver,
+    solve_vp,
+)
+from repro.core.transient import (
+    TransientVPSolver,
+    TransientResult,
+    step_stimulus,
+    pulse_train_stimulus,
+)
+
+__all__ = [
+    "RowBasedConfig",
+    "RowBasedResult",
+    "RowBasedSolver",
+    "estimate_optimal_omega",
+    "plane_matrices",
+    "pillar_drawn_currents",
+    "VDAPolicy",
+    "FixedEtaVDA",
+    "AdaptiveEtaVDA",
+    "PerPillarSecantVDA",
+    "AndersonVDA",
+    "make_vda_policy",
+    "VPConfig",
+    "VPResult",
+    "VoltagePropagationSolver",
+    "solve_vp",
+    "TransientVPSolver",
+    "TransientResult",
+    "step_stimulus",
+    "pulse_train_stimulus",
+]

@@ -1,0 +1,90 @@
+"""TSV current bookkeeping (phase 2 of the VP method).
+
+After an intra-plane solve, Kirchhoff's current law at each TSV node gives
+the current the pillar must deliver into that plane: the node's net outflow
+into its in-plane neighbours plus any local load/pad terms.  Summing these
+per-plane drawn currents from the bottommost tier upward yields the current
+through each successive TSV segment -- each TSV feeds its own tier plus
+every tier farther from the pins (§III-B-1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.grid.conductance import grid2d_matrix
+from repro.grid.grid2d import Grid2D
+from repro.grid.stack3d import PowerGridStack
+
+
+def plane_matrices(
+    stack: PowerGridStack,
+    groups: list[int] | None = None,
+) -> list[tuple[sp.csr_matrix, np.ndarray]]:
+    """Per-tier in-plane nodal systems ``(G_t, b_t)`` (no TSV terms).
+
+    These serve two purposes in the VP solver: extracting pillar drawn
+    currents (``G_t v - b_t`` evaluated at pillar nodes) and, with the
+    ``direct``/``cg`` inner solvers, building the reduced free-node
+    systems.
+
+    ``groups`` (as produced by the VP solver's tier grouping) lets tiers
+    with identical wire geometry share one matrix object; right-hand
+    sides are always per-tier.
+    """
+    out: list[tuple[sp.csr_matrix, np.ndarray]] = []
+    shared: dict[int, sp.csr_matrix] = {}
+    for l, tier in enumerate(stack.tiers):
+        group = groups[l] if groups is not None else l
+        if group in shared:
+            matrix = shared[group]
+            rhs = tier.g_pad.ravel() * tier.v_pad - tier.loads.ravel()
+        else:
+            matrix, rhs = grid2d_matrix(tier)
+            shared[group] = matrix
+        out.append((matrix, rhs))
+    return out
+
+
+def pillar_drawn_currents(
+    plane_matrix: sp.csr_matrix,
+    plane_rhs: np.ndarray,
+    v_plane: np.ndarray,
+    pillar_flat: np.ndarray,
+) -> np.ndarray:
+    """Current (A) delivered by each pillar into this plane.
+
+    ``G_t v - b_t`` is the nodal KCL residual: zero at solved free nodes,
+    and exactly the externally supplied current at the Dirichlet (pillar)
+    nodes.  ``v_plane`` may be ``(rows, cols)`` or flat.
+    """
+    v_flat = np.asarray(v_plane, dtype=float).ravel()
+    residual = plane_matrix @ v_flat - plane_rhs
+    return residual[pillar_flat]
+
+
+def plane_kcl_residual(
+    grid: Grid2D, v_plane: np.ndarray, exclude_flat: np.ndarray | None = None
+) -> float:
+    """Max |KCL residual| (A) over the plane's free nodes -- the invariant
+    the intra-plane phase must satisfy (tests and sanity checks)."""
+    matrix, rhs = grid2d_matrix(grid)
+    residual = matrix @ np.asarray(v_plane, dtype=float).ravel() - rhs
+    if exclude_flat is not None and exclude_flat.size:
+        keep = np.ones(residual.size, dtype=bool)
+        keep[exclude_flat] = False
+        residual = residual[keep]
+    return float(np.max(np.abs(residual))) if residual.size else 0.0
+
+
+def propagate_pillar_voltages(
+    v_pillar: np.ndarray, cumulative_current: np.ndarray, r_segment: np.ndarray
+) -> np.ndarray:
+    """Phase-3 step: voltage at the next tier's pillar terminals.
+
+    ``V_{l+1}(j) = V_l(j) + i_seg,l(j) * r_seg,l(j)`` -- the paper's
+    propagation rule (Fig. 3c/d); also yields the "propagated source
+    voltage" when applied to the topmost segment.
+    """
+    return v_pillar + cumulative_current * r_segment

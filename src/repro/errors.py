@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GridError(ReproError):
+    """Invalid power-grid structure (shapes, signs, bounds, keep-out)."""
+
+
+class NetlistError(ReproError):
+    """Malformed netlist text or inconsistent element definitions."""
+
+
+class NetlistSyntaxError(NetlistError):
+    """A netlist line could not be parsed.
+
+    Carries the offending line number and text for diagnostics.
+    """
+
+    def __init__(self, message: str, line_no: int, line: str):
+        super().__init__(f"line {line_no}: {message}: {line!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+class SingularSystemError(ReproError):
+    """The linear system has no unique solution.
+
+    Typically the grid (or a connected component of it) has no path to any
+    voltage source / pad, leaving the node voltages undetermined.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach its tolerance in max_iter steps."""
+
+    def __init__(self, message: str, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SolutionFormatError(ReproError):
+    """A solution (.solution) file is malformed."""

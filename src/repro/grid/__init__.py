@@ -1,0 +1,44 @@
+"""Power-grid data models and synthesis.
+
+The two central types are :class:`~repro.grid.grid2d.Grid2D` (one tier's
+regular resistive mesh) and :class:`~repro.grid.stack3d.PowerGridStack`
+(a 3-D stack of tiers connected by TSV pillars, pins on the topmost tier).
+"""
+
+from repro.grid.grid2d import Grid2D
+from repro.grid.stack3d import PillarSet, PowerGridStack
+from repro.grid.conductance import (
+    grid2d_system,
+    stack_system,
+    stack_node_index,
+)
+from repro.grid.generators import (
+    uniform_tier,
+    synthesize_tier,
+    synthesize_stack,
+    uniform_tsv_positions,
+    paper_stack,
+)
+from repro.grid.loads import make_loads
+from repro.grid.pads import place_pads
+from repro.grid.perturb import perturb_conductances
+from repro.grid.validate import validate_grid2d, validate_stack
+
+__all__ = [
+    "Grid2D",
+    "PillarSet",
+    "PowerGridStack",
+    "grid2d_system",
+    "stack_system",
+    "stack_node_index",
+    "uniform_tier",
+    "synthesize_tier",
+    "synthesize_stack",
+    "uniform_tsv_positions",
+    "paper_stack",
+    "make_loads",
+    "place_pads",
+    "perturb_conductances",
+    "validate_grid2d",
+    "validate_stack",
+]

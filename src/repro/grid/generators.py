@@ -1,0 +1,258 @@
+"""Benchmark-grid synthesis following the paper's construction (§III-B-2).
+
+The paper builds its 3-D benchmarks by replicating an IBM TAU 2011-style
+planar power mesh three times, connecting the tiers with TSVs placed
+uniformly at one node in four (pitch 2 in both directions), fixing the TSV
+resistance to 0.05 ohm, and attaching an independent current source to
+every non-TSV node (TSV keep-out).  Package pins sit above the topmost
+tier at the pillar positions.
+
+:func:`synthesize_stack` reproduces that construction with every parameter
+exposed; :func:`paper_stack` applies the paper's defaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GridError
+from repro.grid.grid2d import Grid2D
+from repro.grid.loads import make_loads
+from repro.grid.perturb import perturb_conductances
+from repro.grid.stack3d import PillarSet, PowerGridStack
+
+#: Paper defaults (§III-B-2 and [14]): 0.05 ohm TSVs, one TSV per 4 nodes.
+PAPER_R_TSV = 0.05
+PAPER_TSV_PITCH = 2
+PAPER_VDD = 1.8
+
+
+def uniform_tier(rows: int, cols: int, r_wire: float = 1.0, name: str = "") -> Grid2D:
+    """Uniform unloaded mesh -- convenience re-export of
+    :meth:`Grid2D.uniform`."""
+    return Grid2D.uniform(rows, cols, r_wire, name=name)
+
+
+def uniform_tsv_positions(
+    rows: int,
+    cols: int,
+    pitch: int = PAPER_TSV_PITCH,
+    offset: tuple[int, int] = (0, 0),
+) -> np.ndarray:
+    """Uniformly distributed TSV positions: every ``pitch``-th node in both
+    directions (pitch 2 gives the paper's one-TSV-per-four-nodes density).
+
+    Returns a ``(P, 2)`` int array of (row, col) positions.
+    """
+    if pitch < 1:
+        raise GridError("TSV pitch must be >= 1")
+    oi, oj = offset
+    if not (0 <= oi < pitch and 0 <= oj < pitch):
+        raise GridError(f"offset {offset} must lie inside one pitch cell")
+    ii = np.arange(oi, rows, pitch)
+    jj = np.arange(oj, cols, pitch)
+    if ii.size == 0 or jj.size == 0:
+        raise GridError("TSV pitch/offset leaves no pillar inside the tier")
+    grid_i, grid_j = np.meshgrid(ii, jj, indexing="ij")
+    return np.column_stack([grid_i.ravel(), grid_j.ravel()])
+
+
+def random_tsv_positions(
+    rows: int,
+    cols: int,
+    count: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """``count`` distinct random pillar positions (the paper notes VP is
+    oblivious to the TSV distribution; this exercises that claim)."""
+    if count < 1:
+        raise GridError("need at least one TSV pillar")
+    if count > rows * cols:
+        raise GridError(f"cannot place {count} pillars on {rows * cols} nodes")
+    gen = np.random.default_rng(rng)
+    flat = gen.choice(rows * cols, size=count, replace=False)
+    return np.column_stack([flat // cols, flat % cols])
+
+
+def synthesize_tier(
+    rows: int,
+    cols: int,
+    *,
+    r_wire: float = 1.0,
+    r_row: float | None = None,
+    r_col: float | None = None,
+    keepout: np.ndarray | None = None,
+    load_pattern: str = "random",
+    current_per_node: float = 1e-3,
+    total_current: float | None = None,
+    jitter_sigma: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+    name: str = "",
+) -> Grid2D:
+    """One IBM-style planar tier: uniform mesh + synthesized loads.
+
+    ``keepout`` marks nodes that must not carry loads (the TSV positions of
+    the enclosing stack).
+    """
+    gen = np.random.default_rng(rng)
+    tier = Grid2D.uniform(rows, cols, r_wire, r_row=r_row, r_col=r_col, name=name)
+    if jitter_sigma > 0:
+        tier = perturb_conductances(tier, jitter_sigma, gen)
+    allowed = None if keepout is None else ~np.asarray(keepout, dtype=bool)
+    tier.loads = make_loads(
+        rows,
+        cols,
+        allowed,
+        pattern=load_pattern,
+        current_per_node=current_per_node,
+        total_current=total_current,
+        rng=gen,
+    )
+    return tier
+
+
+def synthesize_stack(
+    rows: int,
+    cols: int,
+    n_tiers: int = 3,
+    *,
+    r_wire: float = 1.0,
+    r_row: float | None = None,
+    r_col: float | None = None,
+    tsv_pitch: int = PAPER_TSV_PITCH,
+    tsv_positions: np.ndarray | None = None,
+    r_tsv: float = PAPER_R_TSV,
+    v_pin: float = PAPER_VDD,
+    net: str = "vdd",
+    load_pattern: str = "random",
+    current_per_node: float = 1e-3,
+    total_current: float | None = None,
+    tier_activity: list[float] | tuple[float, ...] | None = None,
+    replicate_tier: bool = True,
+    jitter_sigma: float = 0.0,
+    pin_fraction: float = 1.0,
+    pin_mask: np.ndarray | None = None,
+    rng: np.random.Generator | int | None = None,
+    name: str = "",
+) -> PowerGridStack:
+    """Build a 3-D benchmark stack per the paper's construction.
+
+    Parameters
+    ----------
+    rows, cols, n_tiers:
+        Lattice size of each tier and the number of stacked tiers (the
+        paper uses three).
+    tsv_pitch / tsv_positions:
+        Either a uniform pitch (paper: 2, i.e. one TSV node per four nodes)
+        or an explicit ``(P, 2)`` position array.
+    r_tsv:
+        Resistance of every TSV segment (paper: 0.05 ohm).
+    v_pin:
+        Pin voltage; for ``net="gnd"`` this is forced to 0 and load signs
+        flip (devices inject current into the ground net).
+    tier_activity:
+        Optional per-tier multiplier on the load currents (length
+        ``n_tiers``); models tiers with different switching activity.
+    replicate_tier:
+        True (paper behaviour): synthesize one tier and replicate it
+        verbatim on every plane.  False: draw independent loads per tier.
+    pin_fraction / pin_mask:
+        Which pillars reach a package pin.  The paper's benchmarks pin
+        every pillar (``pin_fraction=1.0``, the default).  A fraction in
+        (0, 1] picks a random subset; an explicit ``(P,)`` boolean
+        ``pin_mask`` overrides it.  Sparse pins model peripheral bump maps
+        and drive the random-walk trap experiment (E7).
+    """
+    if n_tiers < 1:
+        raise GridError("a stack needs at least one tier")
+    gen = np.random.default_rng(rng)
+    if tsv_positions is None:
+        tsv_positions = uniform_tsv_positions(rows, cols, tsv_pitch)
+    else:
+        tsv_positions = np.asarray(tsv_positions, dtype=np.int64)
+    keepout = np.zeros((rows, cols), dtype=bool)
+    keepout[tsv_positions[:, 0], tsv_positions[:, 1]] = True
+
+    def one_tier(tier_idx: int) -> Grid2D:
+        return synthesize_tier(
+            rows,
+            cols,
+            r_wire=r_wire,
+            r_row=r_row,
+            r_col=r_col,
+            keepout=keepout,
+            load_pattern=load_pattern,
+            current_per_node=current_per_node,
+            total_current=total_current,
+            jitter_sigma=jitter_sigma,
+            rng=gen,
+            name=f"{name}/tier{tier_idx}" if name else f"tier{tier_idx}",
+        )
+
+    if replicate_tier:
+        prototype = one_tier(0)
+        tiers = [prototype.copy() for _ in range(n_tiers)]
+        for idx, tier in enumerate(tiers):
+            tier.name = f"{name}/tier{idx}" if name else f"tier{idx}"
+    else:
+        tiers = [one_tier(idx) for idx in range(n_tiers)]
+
+    if tier_activity is not None:
+        if len(tier_activity) != n_tiers:
+            raise GridError(
+                f"tier_activity has {len(tier_activity)} entries, expected {n_tiers}"
+            )
+        for tier, activity in zip(tiers, tier_activity):
+            if activity < 0:
+                raise GridError("tier activity factors must be non-negative")
+            tier.loads = tier.loads * float(activity)
+
+    if net == "gnd":
+        v_pin = 0.0
+        for tier in tiers:
+            tier.loads = -tier.loads
+
+    n_pillars = tsv_positions.shape[0]
+    if pin_mask is not None:
+        has_pin = np.asarray(pin_mask, dtype=bool)
+    elif pin_fraction >= 1.0:
+        has_pin = None
+    else:
+        if pin_fraction <= 0:
+            raise GridError("pin_fraction must be in (0, 1]")
+        n_pins = max(1, int(round(pin_fraction * n_pillars)))
+        has_pin = np.zeros(n_pillars, dtype=bool)
+        has_pin[gen.choice(n_pillars, size=n_pins, replace=False)] = True
+
+    pillars = PillarSet.uniform(
+        tsv_positions, n_tiers, r_tsv=r_tsv, v_pin=v_pin, has_pin=has_pin
+    )
+    return PowerGridStack(tiers=tiers, pillars=pillars, name=name, net=net)
+
+
+def paper_stack(
+    plane_side: int,
+    n_tiers: int = 3,
+    *,
+    seed: int | None = 0,
+    name: str = "",
+    **overrides,
+) -> PowerGridStack:
+    """A stack with the paper's exact construction defaults.
+
+    ``plane_side`` is the tier lattice side length ``n`` (each tier has
+    ``n*n`` nodes); the paper's C0 corresponds to ``plane_side=100``
+    (3 x 100 x 100 = 30 K nodes).
+    """
+    params = dict(
+        r_wire=1.0,
+        tsv_pitch=PAPER_TSV_PITCH,
+        r_tsv=PAPER_R_TSV,
+        v_pin=PAPER_VDD,
+        load_pattern="random",
+        current_per_node=1e-3,
+        rng=seed,
+        name=name or f"paper-{plane_side}x{plane_side}x{n_tiers}",
+    )
+    params.update(overrides)
+    return synthesize_stack(plane_side, plane_side, n_tiers, **params)

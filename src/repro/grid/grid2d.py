@@ -1,0 +1,194 @@
+"""Regular 2-D power-grid mesh for a single tier.
+
+A tier is a ``rows x cols`` lattice of nodes.  Adjacent nodes are connected
+by resistive wire segments; devices drawing supply current are modeled as DC
+current sources attached to nodes; optional in-plane pads tie nodes to an
+ideal rail through a pad conductance (used for stand-alone 2-D problems --
+tiers inside a 3-D stack receive power only through TSV pillars).
+
+Sign conventions
+----------------
+``loads[i, j]`` is the current in amperes *drawn out of* the power net at
+node ``(i, j)`` (positive for a device on the VDD net; use negative values
+for the ground net where devices inject current into the net).
+
+The DC node voltages solve ``G x = b`` where, for each node ``u``::
+
+    sum_nb g_uv (x_u - x_v) + g_pad_u (x_u - v_pad) + loads_u = 0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GridError
+
+
+@dataclass
+class Grid2D:
+    """One tier of a power grid: a regular resistive mesh.
+
+    Parameters
+    ----------
+    rows, cols:
+        Lattice dimensions (number of nodes per side, both >= 1; a useful
+        grid has both >= 2).
+    g_h:
+        ``(rows, cols-1)`` conductances (S) of horizontal segments;
+        ``g_h[i, j]`` connects node ``(i, j)`` to ``(i, j+1)``.
+    g_v:
+        ``(rows-1, cols)`` conductances of vertical segments;
+        ``g_v[i, j]`` connects node ``(i, j)`` to ``(i+1, j)``.
+    loads:
+        ``(rows, cols)`` device currents (A) drawn from each node.
+    g_pad:
+        ``(rows, cols)`` conductance (S) from each node to the in-plane pad
+        rail; zero where there is no pad.
+    v_pad:
+        Voltage (V) of the in-plane pad rail.
+    """
+
+    rows: int
+    cols: int
+    g_h: np.ndarray
+    g_v: np.ndarray
+    loads: np.ndarray = None  # type: ignore[assignment]
+    g_pad: np.ndarray = None  # type: ignore[assignment]
+    v_pad: float = 0.0
+    name: str = ""
+    _frozen: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise GridError(f"grid must be at least 1x1, got {self.rows}x{self.cols}")
+        if self.loads is None:
+            self.loads = np.zeros((self.rows, self.cols))
+        if self.g_pad is None:
+            self.g_pad = np.zeros((self.rows, self.cols))
+        self.g_h = np.asarray(self.g_h, dtype=float)
+        self.g_v = np.asarray(self.g_v, dtype=float)
+        self.loads = np.asarray(self.loads, dtype=float)
+        self.g_pad = np.asarray(self.g_pad, dtype=float)
+        self._check_shapes()
+
+    def _check_shapes(self) -> None:
+        expected = {
+            "g_h": (self.rows, max(self.cols - 1, 0)),
+            "g_v": (max(self.rows - 1, 0), self.cols),
+            "loads": (self.rows, self.cols),
+            "g_pad": (self.rows, self.cols),
+        }
+        for attr, shape in expected.items():
+            actual = getattr(self, attr).shape
+            if actual != shape:
+                raise GridError(f"{attr} has shape {actual}, expected {shape}")
+        if np.any(self.g_h < 0) or np.any(self.g_v < 0):
+            raise GridError("wire conductances must be non-negative")
+        if np.any(self.g_pad < 0):
+            raise GridError("pad conductances must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Total node count ``rows * cols``."""
+        return self.rows * self.cols
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    def node_index(self, i: int, j: int) -> int:
+        """Flatten lattice coordinates to the row-major node index."""
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise GridError(f"node ({i}, {j}) outside {self.rows}x{self.cols} grid")
+        return i * self.cols + j
+
+    def node_coords(self, index: int) -> tuple[int, int]:
+        """Inverse of :meth:`node_index`."""
+        if not (0 <= index < self.n_nodes):
+            raise GridError(f"node index {index} outside grid of {self.n_nodes} nodes")
+        return divmod(index, self.cols)
+
+    def total_load(self) -> float:
+        """Total device current drawn from this tier (A)."""
+        return float(self.loads.sum())
+
+    def degree_conductance(self) -> np.ndarray:
+        """``(rows, cols)`` sum of incident wire+pad conductances per node.
+
+        This is the diagonal of the conductance matrix.
+        """
+        deg = np.zeros((self.rows, self.cols))
+        if self.cols > 1:
+            deg[:, :-1] += self.g_h
+            deg[:, 1:] += self.g_h
+        if self.rows > 1:
+            deg[:-1, :] += self.g_v
+            deg[1:, :] += self.g_v
+        deg += self.g_pad
+        return deg
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        rows: int,
+        cols: int,
+        r_wire: float = 1.0,
+        *,
+        r_row: float | None = None,
+        r_col: float | None = None,
+        name: str = "",
+    ) -> "Grid2D":
+        """Build a uniform mesh where every horizontal segment has
+        resistance ``r_row`` and every vertical segment ``r_col`` (both
+        default to ``r_wire``).
+        """
+        r_row = r_wire if r_row is None else r_row
+        r_col = r_wire if r_col is None else r_col
+        if r_row <= 0 or r_col <= 0:
+            raise GridError("wire resistances must be positive")
+        g_h = np.full((rows, max(cols - 1, 0)), 1.0 / r_row)
+        g_v = np.full((max(rows - 1, 0), cols), 1.0 / r_col)
+        return cls(rows=rows, cols=cols, g_h=g_h, g_v=g_v, name=name)
+
+    def copy(self) -> "Grid2D":
+        """Deep copy (arrays are duplicated)."""
+        return Grid2D(
+            rows=self.rows,
+            cols=self.cols,
+            g_h=self.g_h.copy(),
+            g_v=self.g_v.copy(),
+            loads=self.loads.copy(),
+            g_pad=self.g_pad.copy(),
+            v_pad=self.v_pad,
+            name=self.name,
+        )
+
+    def with_loads(self, loads: np.ndarray) -> "Grid2D":
+        """Return a copy with ``loads`` replaced."""
+        out = self.copy()
+        out.loads = np.asarray(loads, dtype=float)
+        out._check_shapes()
+        return out
+
+    def is_uniform(self) -> bool:
+        """True when all horizontal segments share one conductance and all
+        vertical segments share one conductance (pads/loads may vary)."""
+        h_uniform = self.g_h.size == 0 or bool(np.all(self.g_h == self.g_h.flat[0]))
+        v_uniform = self.g_v.size == 0 or bool(np.all(self.g_v == self.g_v.flat[0]))
+        return h_uniform and v_uniform
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"Grid2D({self.rows}x{self.cols}{label}, "
+            f"total_load={self.total_load():.4g}A, "
+            f"pads={int(np.count_nonzero(self.g_pad))})"
+        )

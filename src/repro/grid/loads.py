@@ -1,0 +1,113 @@
+"""Device-load synthesis for benchmark grids.
+
+The paper attaches an independent current source to every non-TSV node
+("a device or a group of devices in the vicinity of the node") and forbids
+loads at TSV nodes (keep-out zones).  These generators produce the load
+array for one tier given the mask of nodes allowed to carry loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GridError
+
+LOAD_PATTERNS = ("uniform", "random", "lognormal", "hotspot")
+
+
+def make_loads(
+    rows: int,
+    cols: int,
+    allowed: np.ndarray | None = None,
+    *,
+    pattern: str = "random",
+    current_per_node: float = 1e-3,
+    total_current: float | None = None,
+    rng: np.random.Generator | int | None = None,
+    hotspot_count: int = 3,
+    hotspot_sigma: float | None = None,
+    lognormal_sigma: float = 0.7,
+) -> np.ndarray:
+    """Generate a ``(rows, cols)`` array of device currents (A).
+
+    Parameters
+    ----------
+    allowed:
+        Boolean mask of nodes that may carry a load (``None`` = all nodes).
+        Nodes outside the mask get exactly zero (keep-out).
+    pattern:
+        ``"uniform"`` -- every allowed node draws the same current;
+        ``"random"`` -- i.i.d. uniform in ``[0.2, 1.8] * mean``;
+        ``"lognormal"`` -- heavy-tailed i.i.d. draws;
+        ``"hotspot"`` -- a background plus Gaussian activity blobs, the
+        standard model for clustered switching activity.
+    current_per_node:
+        Mean current per allowed node; ignored when ``total_current`` is
+        given.
+    total_current:
+        If set, loads are rescaled so they sum to exactly this value.
+    rng:
+        ``numpy`` generator or seed for reproducibility.
+    """
+    if pattern not in LOAD_PATTERNS:
+        raise GridError(f"unknown load pattern {pattern!r}; use one of {LOAD_PATTERNS}")
+    if current_per_node < 0:
+        raise GridError("current_per_node must be non-negative")
+    gen = np.random.default_rng(rng)
+    if allowed is None:
+        allowed = np.ones((rows, cols), dtype=bool)
+    allowed = np.asarray(allowed, dtype=bool)
+    if allowed.shape != (rows, cols):
+        raise GridError(
+            f"allowed mask has shape {allowed.shape}, expected {(rows, cols)}"
+        )
+    n_allowed = int(allowed.sum())
+    loads = np.zeros((rows, cols))
+    if n_allowed == 0:
+        return loads
+
+    if pattern == "uniform":
+        values = np.full(n_allowed, current_per_node)
+    elif pattern == "random":
+        values = gen.uniform(0.2, 1.8, size=n_allowed) * current_per_node
+    elif pattern == "lognormal":
+        # Mean of lognormal(mu, sigma) is exp(mu + sigma^2/2); pick mu so the
+        # expected value equals current_per_node.
+        mu = np.log(current_per_node) - lognormal_sigma**2 / 2.0
+        values = gen.lognormal(mean=mu, sigma=lognormal_sigma, size=n_allowed)
+    else:  # hotspot
+        values = _hotspot_field(
+            rows, cols, gen, hotspot_count, hotspot_sigma
+        )[allowed]
+        values *= current_per_node / max(values.mean(), 1e-30)
+
+    loads[allowed] = values
+    if total_current is not None:
+        if total_current < 0:
+            raise GridError("total_current must be non-negative")
+        current_sum = loads.sum()
+        if current_sum > 0:
+            loads *= total_current / current_sum
+    return loads
+
+
+def _hotspot_field(
+    rows: int,
+    cols: int,
+    gen: np.random.Generator,
+    hotspot_count: int,
+    sigma: float | None,
+) -> np.ndarray:
+    """Background activity of 1.0 plus Gaussian blobs peaking around 4.0."""
+    if sigma is None:
+        sigma = max(min(rows, cols) / 8.0, 1.0)
+    ii, jj = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    field = np.ones((rows, cols))
+    for _ in range(hotspot_count):
+        ci = gen.uniform(0, rows - 1)
+        cj = gen.uniform(0, cols - 1)
+        amplitude = gen.uniform(2.0, 4.0)
+        field += amplitude * np.exp(
+            -((ii - ci) ** 2 + (jj - cj) ** 2) / (2.0 * sigma**2)
+        )
+    return field

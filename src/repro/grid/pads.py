@@ -1,0 +1,65 @@
+"""Pad placement for stand-alone 2-D grids.
+
+Tiers inside a 3-D stack are powered exclusively through TSV pillars and
+carry no in-plane pads; these helpers serve the 2-D experiments (row-based
+solver validation, multigrid tests) where the plane itself must reach a
+rail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GridError
+from repro.grid.grid2d import Grid2D
+
+PAD_SCHEMES = ("corners", "ring", "uniform", "center")
+
+
+def pad_mask(
+    rows: int,
+    cols: int,
+    scheme: str = "corners",
+    *,
+    pitch: int = 8,
+) -> np.ndarray:
+    """Boolean mask of pad locations for the given placement scheme."""
+    if scheme not in PAD_SCHEMES:
+        raise GridError(f"unknown pad scheme {scheme!r}; use one of {PAD_SCHEMES}")
+    mask = np.zeros((rows, cols), dtype=bool)
+    if scheme == "corners":
+        mask[0, 0] = mask[0, -1] = mask[-1, 0] = mask[-1, -1] = True
+    elif scheme == "center":
+        mask[rows // 2, cols // 2] = True
+    elif scheme == "ring":
+        step = max(pitch, 1)
+        mask[0, ::step] = True
+        mask[-1, ::step] = True
+        mask[::step, 0] = True
+        mask[::step, -1] = True
+    else:  # uniform
+        step = max(pitch, 1)
+        mask[::step, ::step] = True
+    return mask
+
+
+def place_pads(
+    grid: Grid2D,
+    scheme: str = "corners",
+    *,
+    v_pad: float = 1.8,
+    r_pad: float = 0.01,
+    pitch: int = 8,
+) -> Grid2D:
+    """Return a copy of ``grid`` with pads attached per ``scheme``.
+
+    ``r_pad`` is the series resistance of each pad connection (a near-ideal
+    0.01 ohm by default).
+    """
+    if r_pad <= 0:
+        raise GridError("pad resistance must be positive")
+    mask = pad_mask(grid.rows, grid.cols, scheme, pitch=pitch)
+    out = grid.copy()
+    out.g_pad = np.where(mask, 1.0 / r_pad, 0.0)
+    out.v_pad = v_pad
+    return out

@@ -1,0 +1,229 @@
+"""3-D power-grid stack: tiers connected by TSV pillars.
+
+Geometry (matching the paper's Fig. 1/3):
+
+* ``tiers[0]`` is the **bottommost** tier, farthest from the package pins.
+* ``tiers[-1]`` is the **topmost** tier; the package pins attach above it.
+* A *pillar* is a vertical chain of TSV segments through one (row, col)
+  lattice position.  For a stack of ``T`` tiers, pillar ``p`` has ``T``
+  resistive segments: segment ``l < T-1`` connects the tier-``l`` node to the
+  tier-``l+1`` node, and segment ``T-1`` connects the topmost tier's node to
+  the package pin held at ``v_pin`` volts.
+
+Current therefore flows from the pins down through the pillars, each pillar
+feeding the tier that contains it plus all tiers farther from the pins --
+exactly the structure the Voltage Propagation method exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GridError
+from repro.grid.grid2d import Grid2D
+
+
+@dataclass
+class PillarSet:
+    """TSV pillars of a stack.
+
+    Parameters
+    ----------
+    positions:
+        ``(P, 2)`` integer array of (row, col) lattice positions; each pillar
+        passes through the same position on every tier.
+    r_seg:
+        ``(T, P)`` segment resistances (ohm); ``r_seg[l, p]`` is the segment
+        going *up* from tier ``l`` (to tier ``l+1``, or to the pin when
+        ``l == T-1``).
+    v_pin:
+        Pin (package bump) voltage in volts: VDD for a power net, 0.0 for a
+        ground net.
+    has_pin:
+        ``(P,)`` boolean mask; pillar ``p`` reaches a package pin above the
+        topmost tier only when ``has_pin[p]``.  The paper's benchmarks pin
+        every pillar (the default); sparse pin subsets model peripheral
+        bump maps and are what makes random walks wander (experiment E7).
+        For pillars without a pin, ``r_seg[T-1, p]`` is unused.
+    """
+
+    positions: np.ndarray
+    r_seg: np.ndarray
+    v_pin: float
+    has_pin: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.int64)
+        self.r_seg = np.asarray(self.r_seg, dtype=float)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise GridError(
+                f"pillar positions must be (P, 2), got {self.positions.shape}"
+            )
+        if self.r_seg.ndim != 2:
+            raise GridError(f"r_seg must be (T, P), got {self.r_seg.shape}")
+        if self.r_seg.shape[1] != self.positions.shape[0]:
+            raise GridError(
+                "r_seg pillar count "
+                f"{self.r_seg.shape[1]} != positions count {self.positions.shape[0]}"
+            )
+        if np.any(self.r_seg <= 0):
+            raise GridError("TSV segment resistances must be positive")
+        if self.has_pin is None:
+            self.has_pin = np.ones(self.positions.shape[0], dtype=bool)
+        self.has_pin = np.asarray(self.has_pin, dtype=bool)
+        if self.has_pin.shape != (self.positions.shape[0],):
+            raise GridError(
+                f"has_pin has shape {self.has_pin.shape}, "
+                f"expected ({self.positions.shape[0]},)"
+            )
+        if not self.has_pin.any():
+            raise GridError("at least one pillar must reach a package pin")
+
+    @property
+    def count(self) -> int:
+        """Number of pillars P."""
+        return self.positions.shape[0]
+
+    @property
+    def n_tiers(self) -> int:
+        """Number of tiers T implied by the segment table."""
+        return self.r_seg.shape[0]
+
+    @property
+    def pin_count(self) -> int:
+        """Number of pillars that reach a package pin."""
+        return int(self.has_pin.sum())
+
+    @classmethod
+    def uniform(
+        cls,
+        positions: np.ndarray,
+        n_tiers: int,
+        r_tsv: float = 0.05,
+        v_pin: float = 1.8,
+        has_pin: np.ndarray | None = None,
+    ) -> "PillarSet":
+        """All segments share resistance ``r_tsv`` (the paper's 0.05 ohm)."""
+        positions = np.asarray(positions, dtype=np.int64)
+        r_seg = np.full((n_tiers, positions.shape[0]), float(r_tsv))
+        return cls(positions=positions, r_seg=r_seg, v_pin=v_pin, has_pin=has_pin)
+
+
+class PowerGridStack:
+    """A 3-D power grid: ``T`` tiers plus TSV pillars and package pins.
+
+    Use :func:`repro.grid.generators.synthesize_stack` to build benchmark
+    stacks; this class only stores and validates the structure.
+    """
+
+    def __init__(
+        self,
+        tiers: list[Grid2D] | tuple[Grid2D, ...],
+        pillars: PillarSet,
+        name: str = "",
+        net: str = "vdd",
+    ):
+        self.tiers: tuple[Grid2D, ...] = tuple(tiers)
+        self.pillars = pillars
+        self.name = name
+        if net not in ("vdd", "gnd"):
+            raise GridError(f"net must be 'vdd' or 'gnd', got {net!r}")
+        self.net = net
+        self._validate_structure()
+
+    # ------------------------------------------------------------------
+    def _validate_structure(self) -> None:
+        if not self.tiers:
+            raise GridError("a stack needs at least one tier")
+        rows, cols = self.tiers[0].rows, self.tiers[0].cols
+        for l, tier in enumerate(self.tiers):
+            if (tier.rows, tier.cols) != (rows, cols):
+                raise GridError(
+                    f"tier {l} is {tier.rows}x{tier.cols}, expected {rows}x{cols}"
+                )
+        if self.pillars.n_tiers != len(self.tiers):
+            raise GridError(
+                f"pillar table covers {self.pillars.n_tiers} tiers, "
+                f"stack has {len(self.tiers)}"
+            )
+        pos = self.pillars.positions
+        if pos.size and (
+            pos[:, 0].min() < 0
+            or pos[:, 1].min() < 0
+            or pos[:, 0].max() >= rows
+            or pos[:, 1].max() >= cols
+        ):
+            raise GridError("pillar position outside tier lattice")
+        # Pillar positions must be unique (one pillar per lattice site).
+        flat = pos[:, 0] * cols + pos[:, 1]
+        if np.unique(flat).size != flat.size:
+            raise GridError("duplicate pillar positions")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tiers(self) -> int:
+        return len(self.tiers)
+
+    @property
+    def rows(self) -> int:
+        return self.tiers[0].rows
+
+    @property
+    def cols(self) -> int:
+        return self.tiers[0].cols
+
+    @property
+    def n_nodes(self) -> int:
+        """Total grid-node count (pins are ideal sources, not nodes)."""
+        return sum(t.n_nodes for t in self.tiers)
+
+    @property
+    def v_pin(self) -> float:
+        return self.pillars.v_pin
+
+    def pillar_flat_indices(self) -> np.ndarray:
+        """Row-major in-tier node indices of the pillar positions, ``(P,)``."""
+        pos = self.pillars.positions
+        return pos[:, 0] * self.cols + pos[:, 1]
+
+    def pillar_mask(self) -> np.ndarray:
+        """Boolean ``(rows, cols)`` mask of pillar (TSV) lattice positions."""
+        mask = np.zeros((self.rows, self.cols), dtype=bool)
+        pos = self.pillars.positions
+        mask[pos[:, 0], pos[:, 1]] = True
+        return mask
+
+    def total_load(self) -> float:
+        """Total device current drawn from the stack (A)."""
+        return float(sum(t.total_load() for t in self.tiers))
+
+    def keepout_violations(self) -> int:
+        """Number of pillar nodes that (incorrectly) carry a device load.
+
+        The paper's keep-out rule forbids current sources at TSV nodes.
+        """
+        mask = self.pillar_mask()
+        return int(sum(np.count_nonzero(t.loads[mask]) for t in self.tiers))
+
+    def copy(self) -> "PowerGridStack":
+        return PowerGridStack(
+            tiers=[t.copy() for t in self.tiers],
+            pillars=PillarSet(
+                positions=self.pillars.positions.copy(),
+                r_seg=self.pillars.r_seg.copy(),
+                v_pin=self.pillars.v_pin,
+                has_pin=self.pillars.has_pin.copy(),
+            ),
+            name=self.name,
+            net=self.net,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"PowerGridStack({self.n_tiers}x{self.rows}x{self.cols}{label}, "
+            f"{self.pillars.count} pillars, net={self.net}, "
+            f"v_pin={self.v_pin}V)"
+        )

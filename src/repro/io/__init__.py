@@ -1,0 +1,15 @@
+"""File formats: IBM-style ``.solution`` voltage files."""
+
+from repro.io.solution import (
+    write_solution,
+    read_solution,
+    stack_solution_dict,
+    compare_solution_files,
+)
+
+__all__ = [
+    "write_solution",
+    "read_solution",
+    "stack_solution_dict",
+    "compare_solution_files",
+]

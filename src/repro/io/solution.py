@@ -1,0 +1,91 @@
+"""IBM-contest-style solution files: one ``<node> <voltage>`` pair per line.
+
+The contest verifies submissions by comparing such files against golden
+solutions; :func:`compare_solution_files` reproduces that check.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SolutionFormatError
+from repro.netlist.naming import grid_node_name
+
+
+def write_solution(voltages: dict[str, float], path: str | Path) -> None:
+    """Write a name -> voltage map, sorted by name for stable diffs."""
+    with open(Path(path), "w") as handle:
+        for name in sorted(voltages):
+            handle.write(f"{name} {voltages[name]:.9e}\n")
+
+
+def read_solution(path: str | Path) -> dict[str, float]:
+    """Read a solution file; raises on malformed lines."""
+    out: dict[str, float] = {}
+    with open(Path(path)) as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("*"):
+                continue
+            fields = line.split()
+            if len(fields) != 2:
+                raise SolutionFormatError(
+                    f"{path}: line {line_no}: expected 'node voltage', "
+                    f"got {raw!r}"
+                )
+            name, value_text = fields
+            if name in out:
+                raise SolutionFormatError(
+                    f"{path}: line {line_no}: duplicate node {name!r}"
+                )
+            try:
+                out[name] = float(value_text)
+            except ValueError as exc:
+                raise SolutionFormatError(
+                    f"{path}: line {line_no}: bad voltage {value_text!r}"
+                ) from exc
+    if not out:
+        raise SolutionFormatError(f"{path}: no voltages found")
+    return out
+
+
+def stack_solution_dict(stack, voltages: np.ndarray) -> dict[str, float]:
+    """Name a stack solution ``(T, R, C)`` with canonical grid node names."""
+    voltages = np.asarray(voltages, dtype=float)
+    expected = (stack.n_tiers, stack.rows, stack.cols)
+    if voltages.shape != expected:
+        raise SolutionFormatError(
+            f"voltages shape {voltages.shape}, expected {expected}"
+        )
+    return {
+        grid_node_name(l, i, j): float(voltages[l, i, j])
+        for l in range(stack.n_tiers)
+        for i in range(stack.rows)
+        for j in range(stack.cols)
+    }
+
+
+def compare_solution_files(
+    candidate_path: str | Path, reference_path: str | Path
+) -> dict[str, float]:
+    """Contest-style check of two solution files over their common nodes.
+
+    Returns ``{"max_error", "mean_error", "common_nodes", "missing"}``;
+    raises when the files share no nodes.
+    """
+    candidate = read_solution(candidate_path)
+    reference = read_solution(reference_path)
+    common = sorted(set(candidate) & set(reference))
+    if not common:
+        raise SolutionFormatError(
+            f"{candidate_path} and {reference_path} share no nodes"
+        )
+    errors = np.array([abs(candidate[k] - reference[k]) for k in common])
+    return {
+        "max_error": float(errors.max()),
+        "mean_error": float(errors.mean()),
+        "common_nodes": float(len(common)),
+        "missing": float(len(set(reference) - set(candidate))),
+    }

@@ -1,0 +1,65 @@
+"""Sparse linear-algebra substrate.
+
+Everything the paper's methods and baselines need: tridiagonal (Thomas)
+solvers for row systems, stationary iterations (Jacobi / Gauss-Seidel /
+SOR), conjugate gradients with a family of preconditioners (Jacobi, SSOR,
+IC(0), ILU, geometric multigrid), a standalone multigrid solver, a direct
+sparse solver, and the random-walk solver of Qian-Nassif-Sapatnekar.
+"""
+
+from repro.linalg.convergence import IterativeResult, StoppingCriterion
+from repro.linalg.tridiagonal import (
+    thomas_solve,
+    thomas_operation_count,
+    solve_tridiagonal,
+    TridiagonalCholesky,
+)
+from repro.linalg.direct import DirectSolver, TriangularOperator, solve_direct
+from repro.linalg.stationary import jacobi, gauss_seidel, sor, ssor_sweep
+from repro.linalg.cg import cg
+from repro.linalg.preconditioners import (
+    Preconditioner,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    SSORPreconditioner,
+    IC0Preconditioner,
+    ILUPreconditioner,
+    make_preconditioner,
+)
+from repro.linalg.ic0 import ic0_factor
+from repro.linalg.multigrid import (
+    GridHierarchy,
+    MultigridSolver,
+    MultigridPreconditioner,
+)
+from repro.linalg.random_walk import WalkModel, RandomWalkSolver
+
+__all__ = [
+    "IterativeResult",
+    "StoppingCriterion",
+    "thomas_solve",
+    "thomas_operation_count",
+    "solve_tridiagonal",
+    "TridiagonalCholesky",
+    "DirectSolver",
+    "TriangularOperator",
+    "solve_direct",
+    "jacobi",
+    "gauss_seidel",
+    "sor",
+    "ssor_sweep",
+    "cg",
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "SSORPreconditioner",
+    "IC0Preconditioner",
+    "ILUPreconditioner",
+    "make_preconditioner",
+    "ic0_factor",
+    "GridHierarchy",
+    "MultigridSolver",
+    "MultigridPreconditioner",
+    "WalkModel",
+    "RandomWalkSolver",
+]

@@ -1,0 +1,293 @@
+"""Geometric multigrid for stacked power grids.
+
+This provides the "multi-grid" machinery referenced twice by the paper:
+
+* the multigrid-*preconditioned* conjugate gradients baseline of Table I
+  (:class:`MultigridPreconditioner` + :func:`repro.linalg.cg.cg`), and
+* a standalone grid-reduction style solver in the spirit of
+  Kozhaya-Nassif-Najm (:class:`MultigridSolver`), mentioned in §I/§II.
+
+Coarsening is in-plane only (semi-coarsening): each tier's lattice is
+reduced by 2x in rows and columns with linear interpolation while the tier
+structure -- and with it the TSV coupling -- is preserved, which is the
+natural hierarchy for a 3-D stack that is only a few tiers tall.  Coarse
+operators are Galerkin products ``P^T A P``, so every level stays
+symmetric positive-definite and the V-cycle with symmetric (damped-Jacobi)
+smoothing is a valid SPD preconditioner for CG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ReproError
+from repro.linalg.convergence import IterativeResult, StoppingCriterion
+from repro.linalg.direct import DirectSolver
+
+
+def interpolation_1d(n_fine: int) -> sp.csr_matrix:
+    """1-D linear interpolation from the coarse lattice (even indices) to
+    the fine lattice: ``(n_fine, n_coarse)`` with ``n_coarse = (n_fine+1)//2``.
+
+    Even fine points coincide with coarse points; odd fine points average
+    their two coarse neighbours (or copy the single left neighbour at the
+    right boundary of an even-sized lattice).
+    """
+    if n_fine < 1:
+        raise ReproError("lattice must have at least one point")
+    n_coarse = (n_fine + 1) // 2
+    rows, cols, vals = [], [], []
+    for i in range(n_fine):
+        if i % 2 == 0:
+            rows.append(i)
+            cols.append(i // 2)
+            vals.append(1.0)
+        else:
+            left = i // 2
+            right = left + 1
+            if right < n_coarse:
+                rows.extend([i, i])
+                cols.extend([left, right])
+                vals.extend([0.5, 0.5])
+            else:
+                rows.append(i)
+                cols.append(left)
+                vals.append(1.0)
+    return sp.csr_matrix((vals, (rows, cols)), shape=(n_fine, n_coarse))
+
+
+def plane_prolongation(rows: int, cols: int) -> sp.csr_matrix:
+    """Bilinear prolongation for one row-major ``rows x cols`` plane."""
+    return sp.kron(interpolation_1d(rows), interpolation_1d(cols), format="csr")
+
+
+@dataclass
+class _Level:
+    """One multigrid level: operator, smoother data, geometry."""
+
+    a: sp.csr_matrix
+    inv_diag: np.ndarray
+    rows: int
+    cols: int
+    tiers: int
+
+
+class GridHierarchy:
+    """Galerkin hierarchy over a (stack of) regular grid(s).
+
+    Build with :meth:`from_matrix` (geometry supplied explicitly) or
+    :meth:`from_stack`.
+    """
+
+    def __init__(
+        self,
+        levels: list[_Level],
+        prolongations: list[sp.csr_matrix],
+        coarse_solver: DirectSolver,
+        smoother_omega: float,
+    ):
+        self.levels = levels
+        self.prolongations = prolongations
+        self.coarse_solver = coarse_solver
+        self.smoother_omega = smoother_omega
+
+    @classmethod
+    def from_matrix(
+        cls,
+        a: sp.spmatrix,
+        tiers: int,
+        rows: int,
+        cols: int,
+        *,
+        min_side: int = 4,
+        min_nodes: int = 256,
+        max_levels: int = 32,
+        smoother_omega: float = 0.8,
+    ) -> "GridHierarchy":
+        a = sp.csr_matrix(a)
+        if a.shape[0] != tiers * rows * cols:
+            raise ReproError(
+                f"matrix size {a.shape[0]} does not match "
+                f"{tiers}x{rows}x{cols} geometry"
+            )
+        levels: list[_Level] = []
+        prolongations: list[sp.csr_matrix] = []
+        current, r, c = a, rows, cols
+        for _ in range(max_levels):
+            diag = current.diagonal()
+            if np.any(diag <= 0):
+                raise ReproError("multigrid requires positive diagonals")
+            levels.append(
+                _Level(a=current, inv_diag=1.0 / diag, rows=r, cols=c, tiers=tiers)
+            )
+            if min(r, c) <= min_side or current.shape[0] <= min_nodes:
+                break
+            plane = plane_prolongation(r, c)
+            p = sp.block_diag([plane] * tiers, format="csr")
+            prolongations.append(p)
+            current = (p.T @ current @ p).tocsr()
+            current.sum_duplicates()
+            r, c = (r + 1) // 2, (c + 1) // 2
+        coarse_solver = DirectSolver(levels[-1].a)
+        return cls(levels, prolongations, coarse_solver, smoother_omega)
+
+    @classmethod
+    def from_stack(cls, stack, **kwargs) -> "GridHierarchy":
+        """Hierarchy for a :class:`~repro.grid.stack3d.PowerGridStack`."""
+        from repro.grid.conductance import stack_system
+
+        a, _ = stack_system(stack)
+        return cls.from_matrix(
+            a, stack.n_tiers, stack.rows, stack.cols, **kwargs
+        )
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes of all level operators plus the coarse factor."""
+        total = 0
+        for level in self.levels:
+            total += (
+                level.a.data.nbytes
+                + level.a.indices.nbytes
+                + level.a.indptr.nbytes
+                + level.inv_diag.nbytes
+            )
+        for p in self.prolongations:
+            total += p.data.nbytes + p.indices.nbytes + p.indptr.nbytes
+        return int(total + self.coarse_solver.memory_bytes)
+
+    # ------------------------------------------------------------------
+    def _smooth(
+        self, level: _Level, b: np.ndarray, x: np.ndarray, sweeps: int
+    ) -> np.ndarray:
+        omega = self.smoother_omega
+        for _ in range(sweeps):
+            x = x + omega * level.inv_diag * (b - level.a @ x)
+        return x
+
+    def v_cycle(
+        self,
+        b: np.ndarray,
+        x: np.ndarray | None = None,
+        *,
+        level: int = 0,
+        pre_sweeps: int = 2,
+        post_sweeps: int = 2,
+    ) -> np.ndarray:
+        """One V-cycle starting at ``level``; returns the improved iterate.
+
+        Equal damped-Jacobi pre/post smoothing keeps the cycle symmetric,
+        which :class:`MultigridPreconditioner` relies on.
+        """
+        lvl = self.levels[level]
+        if x is None:
+            x = np.zeros(lvl.a.shape[0])
+        if level == len(self.levels) - 1:
+            return self.coarse_solver.solve(b)
+        x = self._smooth(lvl, b, x, pre_sweeps)
+        residual = b - lvl.a @ x
+        p = self.prolongations[level]
+        coarse_residual = p.T @ residual
+        coarse_error = self.v_cycle(
+            coarse_residual,
+            None,
+            level=level + 1,
+            pre_sweeps=pre_sweeps,
+            post_sweeps=post_sweeps,
+        )
+        x = x + p @ coarse_error
+        return self._smooth(lvl, b, x, post_sweeps)
+
+
+class MultigridSolver:
+    """Standalone multigrid solver: iterate V-cycles to tolerance.
+
+    This is the "grid reduction / multigrid-like" flavour of power-grid
+    solver from the paper's background section, usable as a baseline in
+    its own right.
+    """
+
+    def __init__(self, hierarchy: GridHierarchy, pre_sweeps: int = 2, post_sweeps: int = 2):
+        self.hierarchy = hierarchy
+        self.pre_sweeps = pre_sweeps
+        self.post_sweeps = post_sweeps
+
+    def solve(
+        self,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        *,
+        tol: float = 1e-8,
+        max_iter: int = 100,
+        criterion: str = "rel_residual",
+        record_history: bool = False,
+    ) -> IterativeResult:
+        a = self.hierarchy.levels[0].a
+        b = np.asarray(b, dtype=float)
+        stop = StoppingCriterion.for_system(criterion, tol, b)
+        x = np.zeros(a.shape[0]) if x0 is None else np.array(x0, dtype=float)
+        history: list[float] = []
+        converged = False
+        iterations = 0
+        monitored = np.inf
+        for iterations in range(1, max_iter + 1):
+            x_new = self.hierarchy.v_cycle(
+                b, x, pre_sweeps=self.pre_sweeps, post_sweeps=self.post_sweeps
+            )
+            dx = x_new - x
+            x = x_new
+            if criterion == "max_dx":
+                monitored = float(np.max(np.abs(dx)))
+                done = stop.check(max_dx=monitored)
+            else:
+                monitored = float(np.linalg.norm(b - a @ x))
+                done = stop.check(residual_norm=monitored)
+            if record_history:
+                history.append(monitored)
+            if done:
+                converged = True
+                break
+        return IterativeResult(
+            x=x,
+            converged=converged,
+            iterations=iterations,
+            residual_norm=monitored,
+            criterion=criterion,
+            history=history,
+            info={"method": "multigrid", "levels": self.hierarchy.n_levels},
+        )
+
+
+class MultigridPreconditioner:
+    """One symmetric V-cycle as ``M^{-1}`` for PCG (the paper's
+    multigrid-PCG baseline [6])."""
+
+    name = "multigrid"
+
+    def __init__(self, hierarchy: GridHierarchy, pre_sweeps: int = 1, post_sweeps: int = 1):
+        if pre_sweeps != post_sweeps:
+            raise ReproError(
+                "symmetric V-cycle needs pre_sweeps == post_sweeps"
+            )
+        self.hierarchy = hierarchy
+        self.pre_sweeps = pre_sweeps
+        self.post_sweeps = post_sweeps
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return self.hierarchy.v_cycle(
+            r, None, pre_sweeps=self.pre_sweeps, post_sweeps=self.post_sweeps
+        )
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        return self.apply(r)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.hierarchy.memory_bytes

@@ -1,0 +1,194 @@
+"""Preconditioners for the PCG baseline.
+
+Each preconditioner exposes ``apply(r) -> z`` (the action of ``M^{-1}``),
+a ``memory_bytes`` estimate (for the Table-I memory column), and a
+``name``.  ``make_preconditioner`` is the string-keyed factory the
+benchmark harness uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import ReproError, SingularSystemError
+from repro.linalg.direct import TriangularOperator
+from repro.linalg.ic0 import ic0_factor
+
+
+class Preconditioner:
+    """Interface: subclasses implement :meth:`apply`."""
+
+    name = "base"
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def memory_bytes(self) -> int:
+        return 0
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        return self.apply(r)
+
+
+class IdentityPreconditioner(Preconditioner):
+    """No preconditioning (plain CG)."""
+
+    name = "none"
+
+    def __init__(self, a: sp.spmatrix | None = None):
+        del a  # accepted for factory uniformity
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return r
+
+
+class JacobiPreconditioner(Preconditioner):
+    """Diagonal scaling ``M = diag(A)``."""
+
+    name = "jacobi"
+
+    def __init__(self, a: sp.spmatrix):
+        diag = sp.csr_matrix(a).diagonal()
+        if np.any(diag <= 0):
+            raise SingularSystemError(
+                "Jacobi preconditioner requires a positive diagonal"
+            )
+        self._inv_diag = 1.0 / diag
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return self._inv_diag * r
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self._inv_diag.nbytes)
+
+
+class SSORPreconditioner(Preconditioner):
+    """Symmetric SOR preconditioner.
+
+    ``M = (D/w + L) (w/(2-w) D)^{-1} (D/w + U)`` -- SPD for SPD ``A`` and
+    ``0 < w < 2``, applied with two triangular solves.
+    """
+
+    name = "ssor"
+
+    def __init__(self, a: sp.spmatrix, omega: float = 1.0):
+        if not 0 < omega < 2:
+            raise ReproError(f"SSOR requires 0 < omega < 2, got {omega}")
+        a = sp.csr_matrix(a)
+        diag = a.diagonal()
+        if np.any(diag <= 0):
+            raise SingularSystemError(
+                "SSOR preconditioner requires a positive diagonal"
+            )
+        self._lower = TriangularOperator(
+            sp.tril(a, k=-1) + sp.diags(diag / omega)
+        )
+        self._upper = TriangularOperator(
+            sp.triu(a, k=1) + sp.diags(diag / omega)
+        )
+        self._mid = diag * (omega / (2.0 - omega))
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        y = self._lower.solve(r)
+        y = self._mid * y
+        return self._upper.solve(y)
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(
+            self._lower.memory_bytes
+            + self._upper.memory_bytes
+            + self._mid.nbytes
+        )
+
+
+class IC0Preconditioner(Preconditioner):
+    """Incomplete Cholesky (zero fill): ``M = L L^T``."""
+
+    name = "ic0"
+
+    def __init__(self, a: sp.spmatrix, shift: float = 0.0):
+        factor = ic0_factor(a, shift=shift)
+        self._l = TriangularOperator(factor)
+        self._lt = TriangularOperator(factor.T)
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return self._lt.solve(self._l.solve(r))
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self._l.memory_bytes + self._lt.memory_bytes)
+
+
+class ILUPreconditioner(Preconditioner):
+    """Incomplete LU via SuperLU (`spilu`) with a tunable fill/drop
+    trade-off.
+
+    .. warning::
+       The dropped-entry LU of a symmetric matrix is generally *not*
+       symmetric, and CG requires an SPD preconditioner -- with ILU it
+       can stagnate on larger systems.  Use :class:`IC0Preconditioner`
+       for CG; ILU is provided for general Krylov methods and smoothing.
+    """
+
+    name = "ilu"
+
+    def __init__(
+        self,
+        a: sp.spmatrix,
+        drop_tol: float = 1e-4,
+        fill_factor: float = 10.0,
+    ):
+        csc = sp.csc_matrix(a)
+        try:
+            self._ilu = spla.spilu(csc, drop_tol=drop_tol, fill_factor=fill_factor)
+        except RuntimeError as exc:
+            raise SingularSystemError(f"ILU factorization failed: {exc}") from exc
+        self.n = csc.shape[0]
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return self._ilu.solve(r)
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self._ilu.nnz * 12 + 8 * self.n)
+
+
+PRECONDITIONERS = {
+    "none": IdentityPreconditioner,
+    "jacobi": JacobiPreconditioner,
+    "ssor": SSORPreconditioner,
+    "ic0": IC0Preconditioner,
+    "ilu": ILUPreconditioner,
+}
+
+
+def make_preconditioner(name: str, a: sp.spmatrix, **kwargs) -> Preconditioner:
+    """Build a preconditioner by name.
+
+    ``"multigrid"`` is constructed via
+    :class:`repro.linalg.multigrid.MultigridPreconditioner` because it
+    needs grid geometry, not just the matrix; the factory forwards to it
+    when a ``hierarchy`` keyword is supplied.
+    """
+    if name == "multigrid":
+        from repro.linalg.multigrid import MultigridPreconditioner
+
+        hierarchy = kwargs.pop("hierarchy", None)
+        if hierarchy is None:
+            raise ReproError(
+                "multigrid preconditioner needs hierarchy=GridHierarchy(...)"
+            )
+        return MultigridPreconditioner(hierarchy, **kwargs)
+    try:
+        cls = PRECONDITIONERS[name]
+    except KeyError:
+        known = sorted(PRECONDITIONERS) + ["multigrid"]
+        raise ReproError(
+            f"unknown preconditioner {name!r}; use one of {known}"
+        ) from None
+    return cls(a, **kwargs)

@@ -1,0 +1,232 @@
+"""Random-walk power-grid solver (Qian-Nassif-Sapatnekar, TCAD 2005).
+
+The nodal equation at node ``u`` with neighbours ``v``, rail conductance
+``g_rail`` (pad or pin attachment) and device load ``I_u``::
+
+    sum_v g_uv (V_u - V_v) + g_rail_u (V_u - v_rail_u) + I_u = 0
+
+rearranges into the expectation identity of an absorbing random walk::
+
+    V_u = sum_v p_uv V_v + p_absorb,u * v_rail_u + m_u
+
+with ``p_uv = g_uv / G_u``, ``p_absorb,u = g_rail_u / G_u``,
+``m_u = -I_u / G_u`` and ``G_u`` the total incident conductance.  A walker
+dropped at ``u`` collects the award ``m`` at every visited node and the
+rail voltage on absorption; the mean over walks estimates ``V_u``.
+
+§I of the paper argues this method degrades on 3-D grids: the huge TSV
+conductance makes walkers ping-pong vertically through pillars instead of
+progressing toward a pad, inflating walk lengths (experiment E7 measures
+exactly this via :attr:`WalkEstimate.mean_length`).
+
+The implementation batches thousands of concurrent walkers with padded
+per-node transition tables so each step is a handful of vectorized numpy
+operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GridError, ReproError
+
+
+@dataclass
+class WalkEstimate:
+    """Result of a batch of random walks."""
+
+    nodes: np.ndarray
+    voltages: np.ndarray
+    n_walks: int
+    mean_length: float
+    max_length: int
+    absorbed_fraction: float
+    lengths: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class WalkModel:
+    """Precomputed absorbing-walk transition tables for a resistive net."""
+
+    def __init__(
+        self,
+        n: int,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        edge_g: np.ndarray,
+        g_rail: np.ndarray,
+        v_rail: np.ndarray,
+        loads: np.ndarray,
+    ):
+        edge_u = np.asarray(edge_u, dtype=np.int64)
+        edge_v = np.asarray(edge_v, dtype=np.int64)
+        edge_g = np.asarray(edge_g, dtype=float)
+        g_rail = np.asarray(g_rail, dtype=float)
+        v_rail = np.asarray(v_rail, dtype=float)
+        loads = np.asarray(loads, dtype=float)
+        if not (edge_u.shape == edge_v.shape == edge_g.shape):
+            raise GridError("edge arrays must share one shape")
+        if g_rail.shape != (n,) or v_rail.shape != (n,) or loads.shape != (n,):
+            raise GridError("per-node arrays must have shape (n,)")
+        if np.any(g_rail < 0) or np.any(edge_g < 0):
+            raise GridError("conductances must be non-negative")
+        if not np.any(g_rail > 0):
+            raise GridError("walk model needs at least one rail (absorbing) node")
+
+        # Total incident conductance per node.
+        total = g_rail.copy()
+        np.add.at(total, edge_u, edge_g)
+        np.add.at(total, edge_v, edge_g)
+        if np.any(total <= 0):
+            raise GridError("isolated node: zero incident conductance")
+
+        # Per-node neighbour lists (both edge directions).
+        both_u = np.concatenate([edge_u, edge_v])
+        both_v = np.concatenate([edge_v, edge_u])
+        both_g = np.concatenate([edge_g, edge_g])
+        order = np.argsort(both_u, kind="stable")
+        both_u, both_v, both_g = both_u[order], both_v[order], both_g[order]
+        degrees = np.bincount(both_u, minlength=n)
+        max_deg = int(degrees.max()) if degrees.size else 0
+
+        # Padded tables: slot k of node u holds its k-th neighbour; padding
+        # slots fall through to absorption (neighbour index -1).
+        self.neighbors = np.full((n, max_deg), -1, dtype=np.int64)
+        probabilities = np.zeros((n, max_deg))
+        starts = np.concatenate([[0], np.cumsum(degrees)])
+        slot = np.arange(both_u.size) - starts[both_u]
+        self.neighbors[both_u, slot] = both_v
+        probabilities[both_u, slot] = both_g / total[both_u]
+        # Cumulative transition bounds; r >= cum[:, -1] means absorption.
+        self.cum_prob = np.cumsum(probabilities, axis=1)
+        self.award = -loads / total
+        self.v_rail = v_rail
+        self.p_absorb = g_rail / total
+        self.n = n
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_stack(cls, stack) -> "WalkModel":
+        """Walk model of a 3-D stack (pins are the absorbing rail)."""
+        from repro.grid.conductance import tier_edges
+
+        per_tier = stack.rows * stack.cols
+        n = stack.n_nodes
+        flat_pillars = stack.pillar_flat_indices()
+        parts_u, parts_v, parts_g = [], [], []
+        g_rail = np.zeros(n)
+        v_rail = np.zeros(n)
+        loads = np.zeros(n)
+        for l, tier in enumerate(stack.tiers):
+            offset = l * per_tier
+            u, v, g = tier_edges(tier)
+            parts_u.append(u + offset)
+            parts_v.append(v + offset)
+            parts_g.append(g)
+            loads[offset : offset + per_tier] = tier.loads.ravel()
+            pad = tier.g_pad.ravel()
+            g_rail[offset : offset + per_tier] += pad
+            v_rail[offset : offset + per_tier] = np.where(
+                pad > 0, tier.v_pad, v_rail[offset : offset + per_tier]
+            )
+        for l in range(stack.n_tiers - 1):
+            parts_u.append(l * per_tier + flat_pillars)
+            parts_v.append((l + 1) * per_tier + flat_pillars)
+            parts_g.append(1.0 / stack.pillars.r_seg[l])
+        pinned = stack.pillars.has_pin
+        top = (stack.n_tiers - 1) * per_tier + flat_pillars[pinned]
+        g_rail[top] += 1.0 / stack.pillars.r_seg[stack.n_tiers - 1][pinned]
+        v_rail[top] = stack.v_pin
+        return cls(
+            n,
+            np.concatenate(parts_u),
+            np.concatenate(parts_v),
+            np.concatenate(parts_g),
+            g_rail,
+            v_rail,
+            loads,
+        )
+
+    @classmethod
+    def from_grid2d(cls, grid) -> "WalkModel":
+        """Walk model of a stand-alone tier (pads absorb)."""
+        from repro.grid.conductance import tier_edges
+
+        u, v, g = tier_edges(grid)
+        g_rail = grid.g_pad.ravel()
+        v_rail = np.full(grid.n_nodes, grid.v_pad)
+        return cls(grid.n_nodes, u, v, g, g_rail, v_rail, grid.loads.ravel())
+
+
+class RandomWalkSolver:
+    """Monte-Carlo node-voltage estimation on a :class:`WalkModel`."""
+
+    def __init__(self, model: WalkModel, rng: np.random.Generator | int | None = None):
+        self.model = model
+        self._rng = np.random.default_rng(rng)
+
+    def estimate_nodes(
+        self,
+        nodes: np.ndarray | list[int],
+        n_walks: int = 1000,
+        max_steps: int = 1_000_000,
+    ) -> WalkEstimate:
+        """Estimate voltages at ``nodes`` with ``n_walks`` walks each.
+
+        Walks exceeding ``max_steps`` are truncated (counted as
+        non-absorbed); a truncated batch signals a trap-like topology.
+        """
+        if n_walks < 1:
+            raise ReproError("n_walks must be >= 1")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.ndim != 1 or nodes.size == 0:
+            raise ReproError("nodes must be a non-empty 1-D index array")
+        if nodes.min() < 0 or nodes.max() >= self.model.n:
+            raise ReproError("node index out of range")
+
+        model = self.model
+        position = np.repeat(nodes, n_walks)
+        total_walkers = position.size
+        accumulator = np.zeros(total_walkers)
+        lengths = np.zeros(total_walkers, dtype=np.int64)
+        active = np.arange(total_walkers)
+
+        for _ in range(max_steps):
+            if active.size == 0:
+                break
+            pos = position[active]
+            accumulator[active] += model.award[pos]
+            lengths[active] += 1
+            r = self._rng.random(active.size)
+            # Column index of the sampled transition; >= degree -> absorb.
+            slot = (model.cum_prob[pos] <= r[:, None]).sum(axis=1)
+            slot = np.minimum(slot, model.neighbors.shape[1] - 1) if model.neighbors.shape[1] else slot
+            nxt = (
+                model.neighbors[pos, slot]
+                if model.neighbors.shape[1]
+                else np.full(pos.shape, -1, dtype=np.int64)
+            )
+            absorbed_here = (
+                (r >= model.cum_prob[pos, -1])
+                if model.cum_prob.shape[1]
+                else np.ones(pos.shape, dtype=bool)
+            )
+            nxt = np.where(absorbed_here, -1, nxt)
+            done = nxt < 0
+            if np.any(done):
+                accumulator[active[done]] += model.v_rail[pos[done]]
+            position[active[~done]] = nxt[~done]
+            active = active[~done]
+
+        absorbed = total_walkers - active.size
+        voltages = accumulator.reshape(nodes.size, n_walks).mean(axis=1)
+        return WalkEstimate(
+            nodes=nodes,
+            voltages=voltages,
+            n_walks=n_walks,
+            mean_length=float(lengths.mean()),
+            max_length=int(lengths.max()),
+            absorbed_fraction=absorbed / total_walkers,
+            lengths=lengths,
+        )

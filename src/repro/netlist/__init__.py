@@ -1,0 +1,43 @@
+"""IBM-pgbench-style SPICE-subset netlists.
+
+The IBM TAU 2011 power-grid contest distributes grids as flat SPICE decks
+of resistors, independent current sources (device loads), and voltage
+sources (pads/pins).  This subpackage models, parses, and writes that
+format, including the 0-ohm "via" resistors the contest files use as
+inter-layer shorts.
+"""
+
+from repro.netlist.elements import (
+    Resistor,
+    CurrentSource,
+    VoltageSource,
+    Capacitor,
+    Netlist,
+)
+from repro.netlist.naming import (
+    grid_node_name,
+    pin_node_name,
+    parse_grid_node_name,
+    GROUND,
+)
+from repro.netlist.parser import parse_netlist, read_netlist
+from repro.netlist.writer import format_netlist, write_netlist, stack_to_netlist
+from repro.netlist.shorts import merge_shorts
+
+__all__ = [
+    "Resistor",
+    "CurrentSource",
+    "VoltageSource",
+    "Capacitor",
+    "Netlist",
+    "grid_node_name",
+    "pin_node_name",
+    "parse_grid_node_name",
+    "GROUND",
+    "parse_netlist",
+    "read_netlist",
+    "format_netlist",
+    "write_netlist",
+    "stack_to_netlist",
+    "merge_shorts",
+]

@@ -1,0 +1,160 @@
+"""Netlist element types and the :class:`Netlist` container.
+
+The element kinds a power-grid deck needs: resistors, independent current
+sources (device loads), independent voltage sources (pads/pins), and
+capacitors (decap -- open at DC, used by the transient engines).  Sign
+conventions follow SPICE: a current source ``I n1 n2 val`` drives ``val``
+amperes *through itself* from ``n1`` to ``n2`` (so it drains ``n1``); a
+voltage source ``V n1 n2 val`` enforces ``v(n1) - v(n2) = val``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class Resistor:
+    name: str
+    n1: str
+    n2: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance < 0:
+            raise NetlistError(
+                f"{self.name}: negative resistance {self.resistance}"
+            )
+        if self.n1 == self.n2:
+            raise NetlistError(f"{self.name}: both terminals on node {self.n1!r}")
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    name: str
+    n1: str
+    n2: str
+    current: float
+
+    def __post_init__(self) -> None:
+        if self.n1 == self.n2:
+            raise NetlistError(f"{self.name}: both terminals on node {self.n1!r}")
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    name: str
+    n1: str
+    n2: str
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.n1 == self.n2:
+            raise NetlistError(f"{self.name}: both terminals on node {self.n1!r}")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """Decoupling/parasitic capacitance.
+
+    Open circuit in the DC operating point; the transient engines use the
+    backward-Euler companion model.
+    """
+
+    name: str
+    n1: str
+    n2: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise NetlistError(
+                f"{self.name}: negative capacitance {self.capacitance}"
+            )
+        if self.n1 == self.n2:
+            raise NetlistError(f"{self.name}: both terminals on node {self.n1!r}")
+
+
+@dataclass
+class Netlist:
+    """A flat DC deck: element lists plus an optional title.
+
+    Element names must be unique within their kind (SPICE semantics);
+    :meth:`add` enforces this in O(1) via per-kind name indexes (contest
+    decks run to millions of elements).
+    """
+
+    title: str = ""
+    resistors: list[Resistor] = field(default_factory=list)
+    current_sources: list[CurrentSource] = field(default_factory=list)
+    voltage_sources: list[VoltageSource] = field(default_factory=list)
+    capacitors: list[Capacitor] = field(default_factory=list)
+    _names: dict[str, set[str]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def add(
+        self,
+        element: "Resistor | CurrentSource | VoltageSource | Capacitor",
+    ) -> None:
+        """Append an element, rejecting duplicate names within its kind."""
+        bucket, kind = self._bucket_for(element)
+        names = self._names.setdefault(kind, set())
+        if element.name in names:
+            raise NetlistError(f"duplicate element name {element.name!r}")
+        names.add(element.name)
+        bucket.append(element)
+
+    def _bucket_for(self, element) -> tuple[list, str]:
+        if isinstance(element, Resistor):
+            return self.resistors, "R"
+        if isinstance(element, CurrentSource):
+            return self.current_sources, "I"
+        if isinstance(element, VoltageSource):
+            return self.voltage_sources, "V"
+        if isinstance(element, Capacitor):
+            return self.capacitors, "C"
+        raise NetlistError(f"unsupported element type {type(element).__name__}")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_elements(self) -> int:
+        return (
+            len(self.resistors)
+            + len(self.current_sources)
+            + len(self.voltage_sources)
+            + len(self.capacitors)
+        )
+
+    def nodes(self) -> set[str]:
+        """All node names appearing in the deck (including ground '0')."""
+        names: set[str] = set()
+        for bucket in (
+            self.resistors,
+            self.current_sources,
+            self.voltage_sources,
+            self.capacitors,
+        ):
+            for element in bucket:
+                names.add(element.n1)
+                names.add(element.n2)
+        return names
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "nodes": len(self.nodes()),
+            "resistors": len(self.resistors),
+            "current_sources": len(self.current_sources),
+            "voltage_sources": len(self.voltage_sources),
+            "capacitors": len(self.capacitors),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"Netlist({self.title!r}, {s['nodes']} nodes, "
+            f"{s['resistors']}R / {s['current_sources']}I / "
+            f"{s['voltage_sources']}V)"
+        )

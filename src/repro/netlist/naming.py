@@ -1,0 +1,38 @@
+"""Node-name conventions for grid <-> netlist round trips.
+
+Grid nodes are named ``n<tier>_<row>_<col>`` (the IBM contest uses the
+same layer/x/y triple style); package pins get ``P<k>`` names.  Ground is
+SPICE node ``"0"``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import NetlistError
+
+GROUND = "0"
+
+_GRID_NODE = re.compile(r"^n(\d+)_(\d+)_(\d+)$")
+
+
+def grid_node_name(tier: int, row: int, col: int) -> str:
+    """Canonical name of a stack grid node."""
+    return f"n{tier}_{row}_{col}"
+
+
+def pin_node_name(pillar_index: int) -> str:
+    """Canonical name of a package-pin node above pillar ``pillar_index``."""
+    return f"P{pillar_index}"
+
+
+def parse_grid_node_name(name: str) -> tuple[int, int, int]:
+    """Inverse of :func:`grid_node_name`; raises on non-grid names."""
+    match = _GRID_NODE.match(name)
+    if match is None:
+        raise NetlistError(f"{name!r} is not a grid node name")
+    return int(match.group(1)), int(match.group(2)), int(match.group(3))
+
+
+def is_grid_node_name(name: str) -> bool:
+    return _GRID_NODE.match(name) is not None

@@ -1,0 +1,108 @@
+"""Parser for the IBM-pgbench SPICE subset.
+
+Accepted grammar (one statement per line):
+
+* ``* comment`` and blank lines;
+* ``R<name> <node> <node> <value>`` -- resistor;
+* ``I<name> <node> <node> <value>`` -- independent current source;
+* ``V<name> <node> <node> <value>`` -- independent voltage source;
+* ``C<name> <node> <node> <value>`` -- capacitor (open at DC; used by the
+  transient engines);
+* ``.title <text>``, ``.op``, ``.end`` -- directives (``.op``/``.end``
+  accepted and ignored; everything is a DC operating point here);
+* values accept SPICE SI suffixes (``50m``, ``2k``, ``1meg`` ...).
+
+Element letters are case-insensitive, as in SPICE.  Unknown element kinds
+or malformed lines raise :class:`~repro.errors.NetlistSyntaxError` with
+the line number.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import NetlistError, NetlistSyntaxError
+from repro.netlist.elements import (
+    Capacitor,
+    CurrentSource,
+    Netlist,
+    Resistor,
+    VoltageSource,
+)
+from repro.units import si_parse
+
+
+def parse_netlist(text: str, *, source: str = "<string>") -> Netlist:
+    """Parse a deck from a string; ``source`` labels error messages."""
+    netlist = Netlist()
+    ended = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("*"):
+            continue
+        if ended:
+            raise NetlistSyntaxError("statement after .end", line_no, raw)
+        if line.startswith("."):
+            ended = _handle_directive(netlist, line, line_no, raw) or ended
+            continue
+        _parse_element(netlist, line, line_no, raw)
+    if not netlist.title:
+        netlist.title = source
+    return netlist
+
+
+def _handle_directive(netlist: Netlist, line: str, line_no: int, raw: str) -> bool:
+    """Returns True when the directive terminates the deck."""
+    keyword, _, rest = line.partition(" ")
+    keyword = keyword.lower()
+    if keyword == ".end":
+        return True
+    if keyword == ".op":
+        return False
+    if keyword == ".title":
+        netlist.title = rest.strip()
+        return False
+    raise NetlistSyntaxError(f"unknown directive {keyword!r}", line_no, raw)
+
+
+def _parse_element(netlist: Netlist, line: str, line_no: int, raw: str) -> None:
+    fields = line.split()
+    if len(fields) != 4:
+        raise NetlistSyntaxError(
+            f"expected 'NAME node node value' (4 fields, got {len(fields)})",
+            line_no,
+            raw,
+        )
+    name, n1, n2, value_text = fields
+    kind = name[0].upper()
+    try:
+        value = si_parse(value_text)
+    except ValueError as exc:
+        raise NetlistSyntaxError(f"bad value: {exc}", line_no, raw) from exc
+    try:
+        if kind == "R":
+            netlist.add(Resistor(name, n1, n2, value))
+        elif kind == "I":
+            netlist.add(CurrentSource(name, n1, n2, value))
+        elif kind == "V":
+            netlist.add(VoltageSource(name, n1, n2, value))
+        elif kind == "C":
+            netlist.add(Capacitor(name, n1, n2, value))
+        else:
+            raise NetlistSyntaxError(
+                f"unsupported element kind {kind!r} "
+                "(this subset knows R, I, V, C)",
+                line_no,
+                raw,
+            )
+    except NetlistError as exc:
+        if isinstance(exc, NetlistSyntaxError):
+            raise
+        raise NetlistSyntaxError(str(exc), line_no, raw) from exc
+
+
+def read_netlist(path: str | Path) -> Netlist:
+    """Parse a deck from a file."""
+    path = Path(path)
+    with open(path) as handle:
+        return parse_netlist(handle.read(), source=path.name)

@@ -1,0 +1,95 @@
+"""Zero-ohm short merging.
+
+The IBM contest decks model inter-layer vias as 0-ohm resistors.  A 0-ohm
+branch cannot be stamped as a conductance; the standard treatment merges
+its two terminals into one electrical node.  :func:`merge_shorts` does
+this with a union-find over all shorted terminals and rewrites the deck
+in terms of representative nodes (dropping elements that end up with both
+terminals merged together).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.elements import (
+    Capacitor,
+    CurrentSource,
+    Netlist,
+    Resistor,
+    VoltageSource,
+)
+from repro.netlist.naming import GROUND
+
+
+class UnionFind:
+    """Path-compressing union-find over node names; ground always wins as
+    the representative of its class."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def find(self, node: str) -> str:
+        # Iterative with path compression (short chains in contest decks
+        # can be thousands of vias long; recursion would overflow).
+        root = node
+        while self._parent.get(root, root) != root:
+            root = self._parent[root]
+        while node != root:
+            self._parent[node], node = root, self._parent.get(node, node)
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        # Keep ground as its own representative so rails stay recognizable.
+        if root_b == GROUND:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+
+
+def merge_shorts(netlist: Netlist) -> tuple[Netlist, dict[str, str]]:
+    """Merge 0-ohm resistor terminals.
+
+    Returns the rewritten deck and the alias map (original node ->
+    representative node) for translating solutions back to original names.
+    Voltage sources across a short (contradictory constraints) raise.
+    """
+    uf = UnionFind()
+    for resistor in netlist.resistors:
+        if resistor.resistance == 0:
+            uf.union(resistor.n1, resistor.n2)
+
+    merged = Netlist(title=netlist.title)
+    for resistor in netlist.resistors:
+        if resistor.resistance == 0:
+            continue
+        n1, n2 = uf.find(resistor.n1), uf.find(resistor.n2)
+        if n1 == n2:
+            # Resistor shorted out end-to-end; it carries current but
+            # no longer constrains node voltages.
+            continue
+        merged.add(Resistor(resistor.name, n1, n2, resistor.resistance))
+    for source in netlist.current_sources:
+        n1, n2 = uf.find(source.n1), uf.find(source.n2)
+        if n1 == n2:
+            continue  # current loops inside one merged node
+        merged.add(CurrentSource(source.name, n1, n2, source.current))
+    for source in netlist.voltage_sources:
+        n1, n2 = uf.find(source.n1), uf.find(source.n2)
+        if n1 == n2:
+            if source.voltage != 0:
+                raise NetlistError(
+                    f"{source.name}: nonzero voltage source across a 0-ohm short"
+                )
+            continue
+        merged.add(VoltageSource(source.name, n1, n2, source.voltage))
+
+    for capacitor in netlist.capacitors:
+        n1, n2 = uf.find(capacitor.n1), uf.find(capacitor.n2)
+        if n1 == n2:
+            continue  # shorted out
+        merged.add(Capacitor(capacitor.name, n1, n2, capacitor.capacitance))
+
+    aliases = {node: uf.find(node) for node in netlist.nodes()}
+    return merged, aliases

@@ -1,0 +1,17 @@
+"""SPICE-style DC engine: modified nodal analysis + sparse LU.
+
+This is the reproduction's stand-in for the paper's SPICE column -- the
+same role (gold-reference voltages, direct-method cost) computed the same
+way a circuit simulator computes a ``.op`` on a resistive deck.
+"""
+
+from repro.spice.mna import MNASystem, build_mna
+from repro.spice.dc import DCSolution, dc_operating_point, solve_stack_spice
+
+__all__ = [
+    "MNASystem",
+    "build_mna",
+    "DCSolution",
+    "dc_operating_point",
+    "solve_stack_spice",
+]

@@ -1,0 +1,83 @@
+"""DC operating point (the ``.op`` analysis): MNA + sparse LU.
+
+:func:`solve_stack_spice` runs the full contest-style pipeline for a
+stack -- export to a deck, stamp, factor, solve -- and reports the direct
+method's time/memory, i.e. the SPICE column of Table I.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GridError
+from repro.grid.stack3d import PowerGridStack
+from repro.linalg.direct import DirectSolver
+from repro.netlist.elements import Netlist
+from repro.netlist.naming import grid_node_name
+from repro.netlist.writer import stack_to_netlist
+from repro.spice.mna import MNASystem, build_mna
+
+
+@dataclass
+class DCSolution:
+    """Result of a DC operating-point analysis."""
+
+    voltages: dict[str, float]
+    branch_currents: dict[str, float]
+    n_nodes: int
+    n_vsources: int
+    factor_nnz: int
+    memory_bytes: int
+    build_seconds: float
+    solve_seconds: float
+    mna: MNASystem = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def dc_operating_point(netlist: Netlist) -> DCSolution:
+    """Solve a deck's DC operating point."""
+    t0 = time.perf_counter()
+    mna = build_mna(netlist)
+    build_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    solver = DirectSolver(mna.matrix)
+    x = solver.solve(mna.rhs)
+    solve_seconds = time.perf_counter() - t0
+
+    return DCSolution(
+        voltages=mna.voltages_dict(x),
+        branch_currents=mna.branch_currents(x),
+        n_nodes=mna.n_nodes,
+        n_vsources=mna.n_vsources,
+        factor_nnz=solver.factor_nnz,
+        memory_bytes=solver.memory_bytes,
+        build_seconds=build_seconds,
+        solve_seconds=solve_seconds,
+        mna=mna,
+    )
+
+
+def solve_stack_spice(stack: PowerGridStack) -> tuple[np.ndarray, DCSolution]:
+    """Full SPICE pipeline on a stack.
+
+    Returns ``(voltages, solution)`` with ``voltages`` shaped
+    ``(tiers, rows, cols)`` in grid order for direct comparison against
+    the VP / PCG solvers.
+    """
+    netlist = stack_to_netlist(stack)
+    solution = dc_operating_point(netlist)
+    voltages = np.empty((stack.n_tiers, stack.rows, stack.cols))
+    for l in range(stack.n_tiers):
+        for i in range(stack.rows):
+            for j in range(stack.cols):
+                name = grid_node_name(l, i, j)
+                try:
+                    voltages[l, i, j] = solution.voltages[name]
+                except KeyError:
+                    raise GridError(
+                        f"stack node {name} missing from SPICE solution"
+                    ) from None
+    return voltages, solution

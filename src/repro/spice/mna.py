@@ -1,0 +1,168 @@
+"""Modified nodal analysis (MNA) stamping.
+
+The MNA system for a deck with ``n`` non-ground nodes and ``m`` voltage
+sources is the ``(n+m) x (n+m)`` saddle-point system::
+
+    [ G  B ] [ v ]   [ i_inj ]
+    [ B' 0 ] [ i ] = [ e     ]
+
+where ``G`` holds conductance stamps, ``B`` the voltage-source incidence,
+``i_inj`` current-source injections and ``e`` the source voltages.  The
+extra unknowns ``i`` are the source branch currents (flowing from the
+``+`` terminal through the source to ``-``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import NetlistError
+from repro.netlist.elements import Netlist
+from repro.netlist.naming import GROUND
+from repro.netlist.shorts import merge_shorts
+
+
+class MNASystem:
+    """Assembled MNA system with its node bookkeeping."""
+
+    def __init__(
+        self,
+        matrix: sp.csr_matrix,
+        rhs: np.ndarray,
+        node_index: dict[str, int],
+        vsource_names: list[str],
+        aliases: dict[str, str],
+    ):
+        self.matrix = matrix
+        self.rhs = rhs
+        self.node_index = node_index
+        self.vsource_names = vsource_names
+        self.aliases = aliases
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_index)
+
+    @property
+    def n_vsources(self) -> int:
+        return len(self.vsource_names)
+
+    def voltage_of(self, x: np.ndarray, node: str) -> float:
+        """Voltage of an *original* node name in a solution vector."""
+        representative = self.aliases.get(node, node)
+        if representative == GROUND:
+            return 0.0
+        try:
+            return float(x[self.node_index[representative]])
+        except KeyError:
+            raise NetlistError(f"unknown node {node!r}") from None
+
+    def voltages_dict(self, x: np.ndarray) -> dict[str, float]:
+        """All original node names -> voltage (ground included as 0)."""
+        out: dict[str, float] = {}
+        for original, representative in self.aliases.items():
+            if representative == GROUND:
+                out[original] = 0.0
+            else:
+                out[original] = float(x[self.node_index[representative]])
+        # Nodes that were never shorted appear only in node_index.
+        for name, idx in self.node_index.items():
+            out.setdefault(name, float(x[idx]))
+        out.setdefault(GROUND, 0.0)
+        return out
+
+    def branch_currents(self, x: np.ndarray) -> dict[str, float]:
+        """Voltage-source branch currents from a solution vector."""
+        offset = self.n_nodes
+        return {
+            name: float(x[offset + k])
+            for k, name in enumerate(self.vsource_names)
+        }
+
+
+def build_mna(netlist: Netlist, *, handle_shorts: bool = True) -> MNASystem:
+    """Stamp a deck into an MNA system.
+
+    ``handle_shorts`` merges 0-ohm resistors first (contest decks);
+    disable it only for decks known to be short-free.
+    """
+    aliases: dict[str, str] = {}
+    if handle_shorts and any(r.resistance == 0 for r in netlist.resistors):
+        netlist, aliases = merge_shorts(netlist)
+
+    # Capacitors are open at DC.  A node touched *only* by capacitors has
+    # no DC path and would make the system singular; reject it with a
+    # useful message (SPICE's "no DC path to ground").
+    dc_nodes: set[str] = set()
+    for bucket in (netlist.resistors, netlist.current_sources,
+                   netlist.voltage_sources):
+        for element in bucket:
+            dc_nodes.add(element.n1)
+            dc_nodes.add(element.n2)
+    cap_only = netlist.nodes() - dc_nodes
+    if cap_only - {GROUND}:
+        sample = sorted(cap_only - {GROUND})[:5]
+        raise NetlistError(
+            f"{len(cap_only - {GROUND})} node(s) have no DC path "
+            f"(capacitor-only), e.g. {sample}"
+        )
+
+    nodes = sorted(dc_nodes - {GROUND})
+    node_index = {name: k for k, name in enumerate(nodes)}
+    n = len(nodes)
+    m = len(netlist.voltage_sources)
+    if n == 0:
+        raise NetlistError("deck has no non-ground nodes")
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    rhs = np.zeros(n + m)
+
+    def stamp(i: int, j: int, value: float) -> None:
+        rows.append(i)
+        cols.append(j)
+        vals.append(value)
+
+    for resistor in netlist.resistors:
+        if resistor.resistance == 0:
+            raise NetlistError(
+                f"{resistor.name}: 0-ohm resistor survived short merging"
+            )
+        g = 1.0 / resistor.resistance
+        i = node_index.get(resistor.n1, -1) if resistor.n1 != GROUND else -1
+        j = node_index.get(resistor.n2, -1) if resistor.n2 != GROUND else -1
+        if i >= 0:
+            stamp(i, i, g)
+        if j >= 0:
+            stamp(j, j, g)
+        if i >= 0 and j >= 0:
+            stamp(i, j, -g)
+            stamp(j, i, -g)
+
+    for source in netlist.current_sources:
+        # Current flows through the source from n1 to n2: it leaves the
+        # net at n1 and re-enters at n2.
+        if source.n1 != GROUND:
+            rhs[node_index[source.n1]] -= source.current
+        if source.n2 != GROUND:
+            rhs[node_index[source.n2]] += source.current
+
+    for k, source in enumerate(netlist.voltage_sources):
+        row = n + k
+        if source.n1 != GROUND:
+            i = node_index[source.n1]
+            stamp(i, row, 1.0)
+            stamp(row, i, 1.0)
+        if source.n2 != GROUND:
+            j = node_index[source.n2]
+            stamp(j, row, -1.0)
+            stamp(row, j, -1.0)
+        rhs[row] = source.voltage
+
+    matrix = sp.coo_matrix(
+        (vals, (rows, cols)), shape=(n + m, n + m)
+    ).tocsr()
+    matrix.sum_duplicates()
+    return MNASystem(matrix, rhs, node_index, [v.name for v in netlist.voltage_sources], aliases)

@@ -1,0 +1,85 @@
+"""Engineering-unit helpers used across reports and benchmarks.
+
+Only formatting/parsing lives here; the rest of the library works in plain
+SI floats (volts, amperes, ohms, siemens, seconds, bytes).
+"""
+
+from __future__ import annotations
+
+import math
+
+# SI prefixes from femto to tera, keyed by decimal exponent.
+_SI_PREFIXES = {
+    -15: "f",
+    -12: "p",
+    -9: "n",
+    -6: "u",
+    -3: "m",
+    0: "",
+    3: "k",
+    6: "M",
+    9: "G",
+    12: "T",
+}
+
+_PREFIX_EXPONENTS = {v: k for k, v in _SI_PREFIXES.items() if v}
+
+
+def si_format(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``si_format(0.0021, 'V')``
+    returns ``'2.1mV'``.
+
+    Zero, NaN and infinities are passed through without a prefix.
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:g}{unit}"
+    exponent = int(math.floor(math.log10(abs(value)) / 3.0) * 3)
+    exponent = max(min(exponent, 12), -15)
+    prefix = _SI_PREFIXES[exponent]
+    scaled = value / (10.0**exponent)
+    return f"{scaled:.{digits}g}{prefix}{unit}"
+
+
+def si_parse(text: str) -> float:
+    """Parse a number with an optional SI prefix suffix, e.g. ``'0.05'``,
+    ``'50m'``, ``'2.1k'``.  SPICE-style ``meg`` is accepted for 1e6.
+
+    Raises ``ValueError`` on malformed input.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ValueError("empty numeric field")
+    lowered = stripped.lower()
+    if lowered.endswith("meg"):
+        return float(lowered[:-3]) * 1e6
+    suffix = stripped[-1]
+    if suffix in _PREFIX_EXPONENTS and not suffix.isdigit():
+        return float(stripped[:-1]) * (10.0 ** _PREFIX_EXPONENTS[suffix])
+    # Also accept uppercase variants of the prefixes (K, M means mega in
+    # some writers; SPICE tradition says case-insensitive, with 'm' = milli).
+    if suffix in ("K",):
+        return float(stripped[:-1]) * 1e3
+    if suffix in ("G",):
+        return float(stripped[:-1]) * 1e9
+    if suffix in ("T",):
+        return float(stripped[:-1]) * 1e12
+    return float(stripped)
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-readable byte count (binary prefixes), e.g. ``'3.2MiB'``."""
+    value = float(n_bytes)
+    for prefix in ("", "Ki", "Mi", "Gi", "Ti"):
+        if abs(value) < 1024.0 or prefix == "Ti":
+            return f"{value:.3g}{prefix}B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration, e.g. ``'512.7s'``, ``'3.5min'``."""
+    if seconds < 60:
+        return f"{seconds:.4g}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.3g}min"
+    return f"{seconds / 3600:.3g}h"

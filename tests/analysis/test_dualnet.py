@@ -1,0 +1,80 @@
+"""Tests for dual-net (VDD + GND) supply analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.dualnet import (
+    SupplyReport,
+    matched_gnd_stack,
+    solve_supply_pair,
+)
+from repro.errors import GridError
+from repro.grid.generators import synthesize_stack
+
+
+@pytest.fixture
+def supply_pair():
+    vdd = synthesize_stack(10, 10, 3, rng=4, name="vdd")
+    return vdd, matched_gnd_stack(vdd)
+
+
+class TestMatchedGndStack:
+    def test_properties(self, supply_pair):
+        vdd, gnd = supply_pair
+        assert gnd.net == "gnd"
+        assert gnd.v_pin == 0.0
+        assert np.array_equal(gnd.tiers[0].loads, -vdd.tiers[0].loads)
+        assert np.array_equal(
+            gnd.pillars.positions, vdd.pillars.positions
+        )
+
+    def test_original_untouched(self, supply_pair):
+        vdd, _ = supply_pair
+        assert vdd.net == "vdd"
+        assert vdd.v_pin == 1.8
+
+
+class TestSolveSupplyPair:
+    def test_combined_margin(self, supply_pair):
+        vdd, gnd = supply_pair
+        report = solve_supply_pair(vdd, gnd)
+        assert report.vdd.converged and report.gnd.converged
+        assert report.worst_droop > 0
+        assert report.worst_bounce > 0
+        # Symmetric nets: bounce mirrors droop exactly.
+        assert report.worst_bounce == pytest.approx(
+            report.worst_droop, rel=1e-6
+        )
+        # Effective margin is the sum of both effects.
+        assert report.margin == pytest.approx(
+            report.worst_droop + report.worst_bounce, rel=1e-3
+        )
+
+    def test_effective_field_shape(self, supply_pair):
+        vdd, gnd = supply_pair
+        report = solve_supply_pair(vdd, gnd)
+        assert report.effective.shape == (3, 10, 10)
+        assert np.all(report.effective < vdd.v_pin)
+
+    def test_str_renders(self, supply_pair):
+        report = solve_supply_pair(*supply_pair)
+        assert "margin" in str(report)
+
+    def test_wrong_net_rejected(self, supply_pair):
+        vdd, _ = supply_pair
+        with pytest.raises(GridError):
+            solve_supply_pair(vdd, vdd)
+
+    def test_shape_mismatch_rejected(self, supply_pair):
+        vdd, _ = supply_pair
+        other = matched_gnd_stack(synthesize_stack(8, 8, 3, rng=4))
+        with pytest.raises(GridError):
+            solve_supply_pair(vdd, other)
+
+    def test_unbalanced_currents_rejected(self, supply_pair):
+        vdd, gnd = supply_pair
+        gnd.tiers[0].loads = gnd.tiers[0].loads * 0.2  # breaks return path
+        with pytest.raises(GridError):
+            solve_supply_pair(vdd, gnd)

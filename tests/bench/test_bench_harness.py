@@ -1,0 +1,219 @@
+"""Tests for the benchmark harness (on miniature circuits, so they stay
+fast -- the real runs live in benchmarks/)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.ablations import (
+    inner_solver_comparison,
+    random_walk_trap,
+    tier_scaling,
+    tsv_resistance_sweep,
+    vda_comparison,
+)
+from repro.bench.circuits import (
+    CIRCUITS,
+    PAPER_TABLE1,
+    build_circuit,
+    default_circuit_names,
+    spice_node_limit,
+)
+from repro.bench.figures import (
+    fig3_trace,
+    memory_ratio_series,
+    phase_breakdown,
+    render_series,
+    speedup_series,
+)
+from repro.bench.methods import run_direct, run_pcg, run_spice, run_vp
+from repro.bench.reporting import ascii_table, markdown_table
+from repro.bench.table1 import ERROR_BUDGET, run_table1
+from repro.errors import ReproError
+from repro.grid.generators import synthesize_stack
+
+
+class TestCircuits:
+    def test_specs_match_paper_node_counts(self):
+        """Plane sides were chosen to reproduce Table I's node counts."""
+        assert CIRCUITS["C0"].n_nodes == 30_000
+        assert abs(CIRCUITS["C1"].n_nodes - 90_000) / 90_000 < 0.005
+        assert abs(CIRCUITS["C2"].n_nodes - 230_000) / 230_000 < 0.001
+        assert abs(CIRCUITS["C3"].n_nodes - 1_000_000) / 1e6 < 0.002
+        assert CIRCUITS["C4"].n_nodes == 3_000_000
+        assert CIRCUITS["C5"].n_nodes == 12_000_000
+
+    def test_paper_table_speedups(self):
+        """Sanity on the transcribed Table I: 10x-20x speedups."""
+        speedups = [row.speedup_vs_pcg for row in PAPER_TABLE1.values()]
+        assert min(speedups) > 10
+        assert max(speedups) < 25
+
+    def test_paper_memory_ratios_around_3x(self):
+        ratios = [row.memory_ratio_vs_pcg for row in PAPER_TABLE1.values()]
+        assert all(2.0 < ratio < 3.5 for ratio in ratios)
+
+    def test_build_unknown_circuit(self):
+        with pytest.raises(ReproError):
+            build_circuit("C9")
+
+    def test_default_names_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert default_circuit_names() == ["C0", "C1", "C2"]
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert default_circuit_names() == ["C0", "C1", "C2", "C3"]
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert default_circuit_names() == list(CIRCUITS)
+
+    def test_spice_limit_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPICE_NODE_LIMIT", "12345")
+        assert spice_node_limit() == 12345
+
+
+class TestMethodRunners:
+    @pytest.fixture(scope="class")
+    def mini(self):
+        return synthesize_stack(10, 10, 3, rng=0, name="mini")
+
+    def test_all_methods_agree(self, mini):
+        v_direct, _ = run_direct(mini)
+        v_vp, r_vp = run_vp(mini)
+        v_pcg, r_pcg = run_pcg(mini)
+        v_spice, r_spice = run_spice(mini)
+        assert np.max(np.abs(v_vp - v_direct)) < ERROR_BUDGET
+        assert np.max(np.abs(v_pcg - v_direct)) < ERROR_BUDGET
+        assert np.max(np.abs(v_spice - v_direct)) < 1e-9
+        for result in (r_vp, r_pcg, r_spice):
+            assert result.converged
+            assert result.total_seconds > 0
+            assert result.peak_memory_bytes > 0
+
+    def test_vp_config_conflict_rejected(self, mini):
+        from repro.core.vp import VPConfig
+
+        with pytest.raises(ReproError):
+            run_vp(mini, config=VPConfig(), inner="rb")
+
+    def test_pcg_preconditioner_choices(self, mini):
+        for name in ("none", "multigrid"):
+            _, result = run_pcg(mini, preconditioner=name)
+            assert result.converged
+            assert result.method == f"pcg[{name}]"
+
+
+class TestTable1:
+    def test_miniature_run(self, monkeypatch):
+        """Full harness logic on a tiny substitute circuit."""
+        import repro.bench.table1 as table1_module
+
+        monkeypatch.setitem(
+            CIRCUITS, "CT",
+            type(CIRCUITS["C0"])("CT", 12),
+        )
+        result = table1_module.run_table1(["CT"])
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.vp is not None and row.pcg is not None
+        assert row.spice is not None  # 432 nodes < limit
+        assert row.vp.max_error is not None
+        assert result.within_budget()
+        rendered = result.render()
+        assert "CT" in rendered and "speedup" in rendered
+        markdown = result.to_markdown()
+        assert markdown.startswith("| circuit")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ReproError):
+            run_table1(["C0"], methods=("vp", "magic"))
+
+    def test_series_from_table(self, monkeypatch):
+        monkeypatch.setitem(
+            CIRCUITS, "CT", type(CIRCUITS["C0"])("CT", 12)
+        )
+        table = run_table1(["CT"])
+        speed = speedup_series(table)
+        assert len(speed) == 1
+        assert speed[0].measured > 0
+        memory = memory_ratio_series(table)
+        assert memory[0].measured > 0
+        text = render_series(speed, "speedup")
+        assert "measured speedup" in text
+
+
+class TestFigures:
+    def test_fig3_trace_converges_to_vdd(self):
+        stack = synthesize_stack(10, 10, 3, rng=0)
+        trace = fig3_trace(stack)
+        assert trace.converged
+        assert trace.max_vdiff[-1] <= 1e-4
+        # Propagated source voltage approaches VDD.
+        final_gap = abs(trace.probe_propagated[-1] - stack.v_pin)
+        first_gap = abs(trace.probe_propagated[0] - stack.v_pin)
+        assert final_gap < first_gap
+
+    def test_fig3_monotone_principle(self):
+        stack = synthesize_stack(10, 10, 3, rng=0)
+        trace = fig3_trace(stack)
+        assert trace.monotone_after(1)
+
+    def test_phase_breakdown_keys(self):
+        stack = synthesize_stack(8, 8, 3, rng=0)
+        breakdown = phase_breakdown(stack)
+        assert {"cvn", "tsv", "propagate", "vda", "total"} <= set(breakdown)
+        assert breakdown["cvn"] > 0
+
+
+class TestAblations:
+    def test_tsv_resistance_sweep_shows_gs_degradation(self):
+        """In the physical regime (r_tsv << r_wire) shrinking r_tsv blows
+        up GS iterations while VP stays flat (paper SIII-A)."""
+        points = tsv_resistance_sweep(
+            plane_side=10, r_values=(0.05, 0.0005), seed=0,
+            gs_tol=1e-6, gs_max_iter=50_000,
+        )
+        assert points[-1].gs_iterations > 5 * points[0].gs_iterations
+        assert (
+            points[-1].vp_outer_iterations <= points[0].vp_outer_iterations + 2
+        )
+        assert all(p.vp_max_error < ERROR_BUDGET for p in points)
+
+    def test_rw_trap_lengths_grow(self):
+        points = random_walk_trap(
+            plane_side=10, r_values=(5.0, 0.01), n_walks=40, seed=0
+        )
+        assert points[1].mean_walk_length > points[0].mean_walk_length
+
+    def test_vda_comparison(self):
+        stack = synthesize_stack(10, 10, 3, rng=0)
+        points = vda_comparison(stack, policies=("fixed", "adaptive"))
+        assert all(p.converged for p in points)
+        assert all(p.max_error_mv < 0.5 for p in points)
+
+    def test_tier_scaling(self):
+        points = tier_scaling(plane_side=10, tier_counts=(2, 3), seed=0)
+        assert points[0].n_nodes == 200
+        assert points[1].n_nodes == 300
+        assert all(p.vp_seconds > 0 and p.pcg_seconds > 0 for p in points)
+
+    def test_inner_comparison(self):
+        stack = synthesize_stack(10, 10, 3, rng=0)
+        points = inner_solver_comparison(stack)
+        assert {p.inner for p in points} == {"rb", "direct", "cg"}
+        assert all(p.converged for p in points)
+        assert all(p.max_error_mv < 0.5 for p in points)
+
+
+class TestReporting:
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["a", "bb"], [[1, 2.5], [10, None]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "-" in lines[1]
+        assert lines[3].strip().endswith("-")  # None renders as -
+
+    def test_markdown_table(self):
+        table = markdown_table(["x"], [[1.23456]])
+        assert table.splitlines()[0] == "| x |"
+        assert "1.235" in table

@@ -1,0 +1,51 @@
+"""Shared fixtures: small deterministic grids and stacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.generators import synthesize_stack, uniform_tsv_positions
+from repro.grid.grid2d import Grid2D
+from repro.grid.pads import place_pads
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_grid() -> Grid2D:
+    """4x5 uniform tier with deterministic loads and corner pads."""
+    grid = Grid2D.uniform(4, 5, r_wire=2.0)
+    grid.loads = np.linspace(0.0, 1e-3, 20).reshape(4, 5)
+    return place_pads(grid, "corners", v_pad=1.8, r_pad=0.01)
+
+
+@pytest.fixture
+def small_stack():
+    """3-tier 8x8 stack with the paper's construction (pitch-2 TSVs)."""
+    return synthesize_stack(8, 8, 3, rng=7, name="small")
+
+
+@pytest.fixture
+def medium_stack():
+    """3-tier 20x20 stack -- large enough for meaningful convergence."""
+    return synthesize_stack(20, 20, 3, rng=11, name="medium")
+
+
+@pytest.fixture
+def pinsubset_stack():
+    """Stack where only 1/4 of the pillars reach package pins."""
+    return synthesize_stack(
+        12, 12, 3, pin_fraction=0.25, rng=3, name="pinsubset"
+    )
+
+
+def assert_allclose_mv(actual, desired, mv: float):
+    """Assert max |actual - desired| <= mv millivolts."""
+    actual = np.asarray(actual, dtype=float)
+    desired = np.asarray(desired, dtype=float)
+    error = np.max(np.abs(actual - desired))
+    assert error <= mv * 1e-3, f"max error {error * 1e3:.4f} mV > {mv} mV"

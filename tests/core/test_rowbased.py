@@ -1,0 +1,217 @@
+"""Tests for the row-based (block Gauss-Seidel / SOR) plane solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError, ReproError
+from repro.grid.conductance import grid2d_matrix
+from repro.grid.generators import synthesize_tier, uniform_tsv_positions
+from repro.grid.grid2d import Grid2D
+from repro.grid.pads import place_pads
+from repro.grid.perturb import perturb_conductances
+from repro.core.rowbased import (
+    ORDERINGS,
+    RowBasedConfig,
+    RowBasedSolver,
+    estimate_optimal_omega,
+)
+from repro.linalg.direct import solve_direct
+
+
+def reference_solution(grid):
+    matrix, rhs = grid2d_matrix(grid)
+    return solve_direct(matrix, rhs).reshape(grid.rows, grid.cols)
+
+
+def dirichlet_reference(grid, mask, values):
+    """Direct solve with Dirichlet nodes pinned."""
+    from repro.grid.conductance import grid2d_system
+
+    a, b, free = grid2d_system(grid, mask, values)
+    x = solve_direct(a, b)
+    full = values.astype(float).copy().ravel()
+    full[free] = x
+    return full.reshape(grid.rows, grid.cols)
+
+
+@pytest.fixture
+def padded_grid(rng):
+    grid = Grid2D.uniform(12, 10, r_wire=1.0)
+    grid.loads = rng.uniform(0, 2e-3, size=(12, 10))
+    return place_pads(grid, "corners", v_pad=1.8, r_pad=0.05)
+
+
+@pytest.fixture
+def masked_grid(rng):
+    """Tier with pitch-2 TSV Dirichlet mask (the VP configuration)."""
+    grid = Grid2D.uniform(12, 12, r_wire=1.0)
+    positions = uniform_tsv_positions(12, 12, 2)
+    mask = np.zeros((12, 12), dtype=bool)
+    mask[positions[:, 0], positions[:, 1]] = True
+    loads = rng.uniform(0, 2e-3, size=(12, 12))
+    loads[mask] = 0.0
+    grid.loads = loads
+    values = np.full((12, 12), 1.8) + rng.uniform(-0.01, 0, size=(12, 12))
+    return grid, mask, values
+
+
+class TestConfig:
+    def test_bad_ordering(self):
+        with pytest.raises(ReproError):
+            RowBasedConfig(ordering="diagonal")
+
+    def test_bad_omega(self):
+        with pytest.raises(ReproError):
+            RowBasedConfig(omega=2.5)
+
+    def test_bad_tol(self):
+        with pytest.raises(ReproError):
+            RowBasedConfig(tol=0.0)
+
+
+class TestPaddedGrid:
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    def test_all_orderings_match_direct(self, padded_grid, ordering):
+        expected = reference_solution(padded_grid)
+        solver = RowBasedSolver(
+            padded_grid, config=RowBasedConfig(ordering=ordering, tol=1e-10)
+        )
+        result = solver.solve()
+        assert result.converged
+        assert np.max(np.abs(result.v - expected)) < 1e-7
+
+    def test_singular_without_pads_rejected(self):
+        with pytest.raises(GridError):
+            RowBasedSolver(Grid2D.uniform(5, 5))
+
+    def test_sor_accelerates(self, padded_grid):
+        """With corner pads only, information crosses the grid slowly and
+        over-relaxation pays off (§II-B)."""
+        gs = RowBasedSolver(
+            padded_grid, config=RowBasedConfig(tol=1e-9)
+        ).solve()
+        omega, rho = estimate_optimal_omega(
+            RowBasedSolver(padded_grid, config=RowBasedConfig())
+        )
+        assert 1.0 < omega < 2.0
+        sor = RowBasedSolver(
+            padded_grid, config=RowBasedConfig(tol=1e-9, omega=omega)
+        ).solve()
+        assert sor.converged
+        assert sor.sweeps < gs.sweeps
+
+    def test_history_recorded(self, padded_grid):
+        solver = RowBasedSolver(
+            padded_grid,
+            config=RowBasedConfig(tol=1e-8, record_history=True),
+        )
+        result = solver.solve()
+        assert len(result.history) == result.sweeps
+        assert result.history[-1] <= 1e-8
+
+    def test_max_sweeps_respected(self, padded_grid):
+        solver = RowBasedSolver(padded_grid, config=RowBasedConfig(tol=1e-14))
+        result = solver.solve(max_sweeps=3)
+        assert result.sweeps == 3
+        assert not result.converged
+
+
+class TestDirichletGrid:
+    def test_matches_reduced_direct(self, masked_grid):
+        grid, mask, values = masked_grid
+        expected = dirichlet_reference(grid, mask, values)
+        solver = RowBasedSolver(grid, mask, RowBasedConfig(tol=1e-11))
+        result = solver.solve(dirichlet_values=values)
+        assert result.converged
+        assert np.max(np.abs(result.v - expected)) < 1e-8
+
+    def test_dirichlet_nodes_pinned_exactly(self, masked_grid):
+        grid, mask, values = masked_grid
+        solver = RowBasedSolver(grid, mask, RowBasedConfig(tol=1e-9))
+        result = solver.solve(dirichlet_values=values)
+        assert np.array_equal(result.v[mask], values[mask])
+
+    def test_missing_values_rejected(self, masked_grid):
+        grid, mask, _ = masked_grid
+        solver = RowBasedSolver(grid, mask)
+        with pytest.raises(GridError):
+            solver.solve()
+
+    def test_warm_start_cuts_sweeps(self, masked_grid):
+        grid, mask, values = masked_grid
+        solver = RowBasedSolver(grid, mask, RowBasedConfig(tol=1e-10))
+        cold = solver.solve(dirichlet_values=values)
+        warm = solver.solve(dirichlet_values=values, v0=cold.v)
+        assert warm.sweeps <= 2
+
+    def test_base_rhs_override(self, masked_grid):
+        """Sharing one solver across tiers with different loads."""
+        grid, mask, values = masked_grid
+        other_loads = grid.loads * 0.5
+        solver = RowBasedSolver(grid, mask, RowBasedConfig(tol=1e-11))
+        base = -(other_loads.copy())
+        base[mask] = 0.0
+        result = solver.solve(dirichlet_values=values, base_rhs=base)
+        other = grid.copy()
+        other.loads = other_loads
+        expected = dirichlet_reference(other, mask, values)
+        assert np.max(np.abs(result.v - expected)) < 1e-8
+
+    def test_uniform_grid_has_few_distinct_rows(self, masked_grid):
+        grid, mask, _ = masked_grid
+        solver = RowBasedSolver(grid, mask)
+        assert solver.n_distinct_row_matrices <= 4
+
+    def test_perturbed_grid_many_rows_still_converges(self, rng):
+        grid = Grid2D.uniform(10, 10)
+        grid = perturb_conductances(grid, 0.3, rng=1)
+        grid.loads = rng.uniform(0, 1e-3, (10, 10))
+        positions = uniform_tsv_positions(10, 10, 2)
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[positions[:, 0], positions[:, 1]] = True
+        grid.loads[mask] = 0.0
+        values = np.full((10, 10), 1.8)
+        solver = RowBasedSolver(grid, mask, RowBasedConfig(tol=1e-11))
+        assert solver.n_distinct_row_matrices > 4
+        result = solver.solve(dirichlet_values=values)
+        expected = dirichlet_reference(grid, mask, values)
+        assert np.max(np.abs(result.v - expected)) < 1e-8
+
+
+class TestEdgeShapes:
+    def test_single_row_grid(self, rng):
+        grid = Grid2D.uniform(1, 8)
+        grid.loads = rng.uniform(0, 1e-3, (1, 8))
+        grid = place_pads(grid, "corners", r_pad=0.1)
+        expected = reference_solution(grid)
+        result = RowBasedSolver(grid, config=RowBasedConfig(tol=1e-12)).solve()
+        assert np.max(np.abs(result.v - expected)) < 1e-9
+
+    def test_single_column_grid(self, rng):
+        grid = Grid2D.uniform(8, 1)
+        grid.loads = rng.uniform(0, 1e-3, (8, 1))
+        grid = place_pads(grid, "corners", r_pad=0.1)
+        expected = reference_solution(grid)
+        result = RowBasedSolver(grid, config=RowBasedConfig(tol=1e-12)).solve()
+        assert np.max(np.abs(result.v - expected)) < 1e-9
+
+
+class TestOperationCount:
+    def test_per_sweep_cost_model(self):
+        grid = place_pads(Grid2D.uniform(4, 100), "ring", pitch=4)
+        solver = RowBasedSolver(grid)
+        mults, adds = solver.operations_per_sweep()
+        assert mults == 4 * (5 * 100 - 4)
+        assert adds == 4 * 3 * 99
+
+
+class TestOmegaEstimate:
+    def test_masked_grid_small_rho(self, masked_grid):
+        """Pitch-2 Dirichlet pinning makes line relaxation contract fast."""
+        grid, mask, _ = masked_grid
+        solver = RowBasedSolver(grid, mask)
+        omega, rho = estimate_optimal_omega(solver)
+        assert rho < 0.9
+        assert 1.0 <= omega < 1.6

@@ -1,0 +1,179 @@
+"""Tests for the transient (RC, backward-Euler) VP extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GridError, ReproError
+from repro.grid.conductance import stack_system
+from repro.grid.generators import synthesize_stack
+from repro.core.transient import (
+    TransientVPSolver,
+    pulse_train_stimulus,
+    step_stimulus,
+)
+from repro.linalg.direct import DirectSolver
+
+
+def reference_transient(stack, caps, dt, n_steps, stimulus):
+    """Backward-Euler on the assembled system (gold reference)."""
+    matrix, _ = stack_system(stack)
+    c_flat = np.concatenate([c.ravel() for c in caps])
+    companion = (matrix + sp.diags(c_flat / dt)).tocsc()
+    solver = DirectSolver(companion)
+
+    per_tier = stack.rows * stack.cols
+    pinned = stack.pillars.has_pin
+    top = (stack.n_tiers - 1) * per_tier + stack.pillar_flat_indices()[pinned]
+    g_top = 1.0 / stack.pillars.r_seg[-1][pinned]
+
+    def rhs_for(loads, v_prev):
+        b = -np.concatenate([l.ravel() for l in loads])
+        b[top] += g_top * stack.v_pin
+        return b + (c_flat / dt) * v_prev
+
+    # t=0 initial condition: plain DC with the t=0 loads (no history).
+    b_dc = -np.concatenate([l.ravel() for l in stimulus(0.0)])
+    b_dc[top] += g_top * stack.v_pin
+    v = DirectSolver(matrix.tocsc()).solve(b_dc)
+
+    trajectory = [v.copy()]
+    for k in range(1, n_steps + 1):
+        t = k * dt
+        v = solver.solve(rhs_for(stimulus(t), v))
+        trajectory.append(v.copy())
+    return trajectory
+
+
+@pytest.fixture
+def rc_setup():
+    stack = synthesize_stack(8, 8, 3, rng=2, current_per_node=2e-3)
+    solver = TransientVPSolver(stack, capacitance=1e-9, dt=1e-9)
+    return stack, solver
+
+
+class TestConstruction:
+    def test_scalar_capacitance_respects_keepout(self, rc_setup):
+        stack, solver = rc_setup
+        mask = stack.pillar_mask()
+        for caps in solver._caps:
+            assert np.all(caps[mask] == 0)
+            assert np.all(caps[~mask] > 0)
+
+    def test_array_capacitance_zeroed_at_pillars(self):
+        stack = synthesize_stack(6, 6, 2, rng=0)
+        caps = [np.full((6, 6), 1e-9) for _ in range(2)]
+        solver = TransientVPSolver(stack, caps, dt=1e-9)
+        mask = stack.pillar_mask()
+        assert all(np.all(c[mask] == 0) for c in solver._caps)
+
+    def test_bad_dt(self):
+        stack = synthesize_stack(6, 6, 2, rng=0)
+        with pytest.raises(ReproError):
+            TransientVPSolver(stack, 1e-9, dt=0.0)
+
+    def test_bad_capacitance_shape(self):
+        stack = synthesize_stack(6, 6, 2, rng=0)
+        with pytest.raises(GridError):
+            TransientVPSolver(stack, [np.zeros((3, 3))] * 2, dt=1e-9)
+
+    def test_negative_capacitance(self):
+        stack = synthesize_stack(6, 6, 2, rng=0)
+        with pytest.raises(GridError):
+            TransientVPSolver(stack, [-np.ones((6, 6))] * 2, dt=1e-9)
+
+
+class TestAgainstDirectTransient:
+    def test_step_response_matches_reference(self):
+        stack = synthesize_stack(8, 8, 3, rng=2, current_per_node=2e-3)
+        dt = 5e-10
+        n_steps = 12
+        solver = TransientVPSolver(stack, 2e-9, dt=dt)
+        base = [tier.loads.copy() for tier in stack.tiers]
+        stimulus = step_stimulus(base, t_step=3 * dt, before=0.1, after=1.0)
+
+        result = solver.run(n_steps * dt, stimulus, probes=[(0, 3, 3)])
+        reference = reference_transient(
+            stack, solver._caps, dt, n_steps, stimulus
+        )
+        for k in range(n_steps + 1):
+            ref_field = reference[k].reshape(stack.n_tiers, stack.rows, stack.cols)
+            if k == n_steps:
+                error = np.max(np.abs(result.voltages - ref_field))
+                assert error < 0.5e-3
+            assert abs(result.worst_voltage[k] - ref_field.min()) < 0.5e-3
+
+    def test_constant_loads_stay_at_dc(self, rc_setup):
+        """With a constant stimulus the transient must sit at the DC
+        operating point (backward Euler is exact for constants)."""
+        stack, solver = rc_setup
+        dc = solver.dc_operating_point()
+        result = solver.run(5e-9)
+        assert np.max(np.abs(result.voltages - dc.voltages)) < 2e-4
+        assert result.worst_droop < 2e-4
+
+    def test_droop_and_recovery(self):
+        """A load step causes a droop that then settles to the new DC."""
+        stack = synthesize_stack(8, 8, 3, rng=2, current_per_node=2e-3)
+        dt = 2e-10
+        solver = TransientVPSolver(stack, 2e-9, dt=dt)
+        base = [tier.loads.copy() for tier in stack.tiers]
+        stimulus = step_stimulus(base, t_step=2 * dt, before=0.1, after=1.0)
+        result = solver.run(200 * dt, stimulus)
+        # droop happened:
+        assert result.worst_droop > 0
+        # and settles near the high-activity DC point:
+        solver2 = TransientVPSolver(stack, 2e-9, dt=dt)
+        dc_high = solver2.dc_operating_point(
+            [loads * 1.0 for loads in base]
+        )
+        assert abs(result.worst_voltage[-1] - dc_high.voltages.min()) < 5e-4
+
+    def test_bigger_cap_smaller_droop_rate(self):
+        """More decap slows the droop immediately after the step."""
+        stack = synthesize_stack(8, 8, 3, rng=2, current_per_node=2e-3)
+        dt = 2e-10
+        base = [tier.loads.copy() for tier in stack.tiers]
+        stimulus = step_stimulus(base, t_step=dt, before=0.1, after=1.0)
+        early = {}
+        for cap in (1e-9, 20e-9):
+            solver = TransientVPSolver(stack, cap, dt=dt)
+            result = solver.run(3 * dt, stimulus)
+            early[cap] = result.worst_voltage[0] - result.worst_voltage[-1]
+        assert early[20e-9] < early[1e-9]
+
+
+class TestStimuli:
+    def test_step_stimulus(self):
+        base = [np.ones((2, 2))]
+        stim = step_stimulus(base, t_step=1.0, before=0.5, after=2.0)
+        assert np.all(stim(0.5)[0] == 0.5)
+        assert np.all(stim(1.5)[0] == 2.0)
+
+    def test_pulse_train(self):
+        base = [np.ones((2, 2))]
+        stim = pulse_train_stimulus(base, period=1.0, duty=0.25,
+                                    low=0.1, high=1.0)
+        assert np.all(stim(0.1)[0] == 1.0)
+        assert np.all(stim(0.9)[0] == 0.1)
+        assert np.all(stim(1.1)[0] == 1.0)  # periodic
+
+    def test_pulse_duty_validated(self):
+        with pytest.raises(ReproError):
+            pulse_train_stimulus([np.ones((2, 2))], period=1.0, duty=1.5)
+
+
+class TestResultShape:
+    def test_probes_and_counts(self, rc_setup):
+        stack, solver = rc_setup
+        result = solver.run(3e-9, probes=[(0, 1, 1), (2, 5, 5)])
+        assert result.times.shape == result.worst_voltage.shape
+        assert result.probe_voltages.shape == (result.times.size, 2)
+        assert len(result.outer_iterations) == result.times.size - 1
+
+    def test_bad_v0_shape(self, rc_setup):
+        stack, solver = rc_setup
+        with pytest.raises(GridError):
+            solver.run(1e-9, v0=np.zeros((1, 2, 3)))

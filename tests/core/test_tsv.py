@@ -1,0 +1,107 @@
+"""Tests for TSV current bookkeeping (VP phase 2/3 helpers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.conductance import grid2d_matrix, grid2d_system
+from repro.grid.generators import synthesize_stack
+from repro.core.tsv import (
+    pillar_drawn_currents,
+    plane_kcl_residual,
+    plane_matrices,
+    propagate_pillar_voltages,
+)
+from repro.linalg.direct import solve_direct
+
+
+@pytest.fixture
+def solved_plane(small_stack):
+    """Tier 0 of the small stack solved with pillar nodes at 1.8 V."""
+    tier = small_stack.tiers[0]
+    mask = small_stack.pillar_mask()
+    values = np.full((tier.rows, tier.cols), 1.8)
+    a, b, free = grid2d_system(tier, mask, values)
+    x = solve_direct(a, b)
+    field = values.copy().ravel()
+    field[free] = x
+    return small_stack, field.reshape(tier.rows, tier.cols)
+
+
+class TestPillarDrawnCurrents:
+    def test_sum_equals_tier_load(self, solved_plane):
+        """With all pillar nodes pinned, the pillars together supply
+        exactly the tier's total device current (KCL on the whole tier)."""
+        stack, field = solved_plane
+        matrix, rhs = grid2d_matrix(stack.tiers[0])
+        drawn = pillar_drawn_currents(
+            matrix, rhs, field, stack.pillar_flat_indices()
+        )
+        assert drawn.sum() == pytest.approx(stack.tiers[0].total_load())
+
+    def test_all_nonnegative_for_uniform_boundary(self, solved_plane):
+        """Pinned at a common voltage with only sinks inside, every pillar
+        sources current into the plane."""
+        stack, field = solved_plane
+        matrix, rhs = grid2d_matrix(stack.tiers[0])
+        drawn = pillar_drawn_currents(
+            matrix, rhs, field, stack.pillar_flat_indices()
+        )
+        assert np.all(drawn >= -1e-12)
+
+    def test_accepts_flat_or_2d(self, solved_plane):
+        stack, field = solved_plane
+        matrix, rhs = grid2d_matrix(stack.tiers[0])
+        flat = stack.pillar_flat_indices()
+        a = pillar_drawn_currents(matrix, rhs, field, flat)
+        b = pillar_drawn_currents(matrix, rhs, field.ravel(), flat)
+        assert np.array_equal(a, b)
+
+
+class TestPlaneKCL:
+    def test_zero_residual_at_free_nodes(self, solved_plane):
+        stack, field = solved_plane
+        residual = plane_kcl_residual(
+            stack.tiers[0], field, exclude_flat=stack.pillar_flat_indices()
+        )
+        assert residual < 1e-10
+
+    def test_nonzero_at_pillar_nodes_included(self, solved_plane):
+        stack, field = solved_plane
+        residual_all = plane_kcl_residual(stack.tiers[0], field)
+        assert residual_all > 1e-6  # pillar injections show up
+
+
+class TestPropagation:
+    def test_formula(self):
+        v = np.array([1.8, 1.79])
+        current = np.array([0.1, 0.2])
+        r = np.array([0.05, 0.05])
+        out = propagate_pillar_voltages(v, current, r)
+        assert np.allclose(out, [1.805, 1.80])
+
+    def test_zero_current_identity(self):
+        v = np.array([1.8, 1.7])
+        out = propagate_pillar_voltages(v, np.zeros(2), np.full(2, 0.05))
+        assert np.array_equal(out, v)
+
+
+class TestPlaneMatrices:
+    def test_per_tier_systems(self, small_stack):
+        planes = plane_matrices(small_stack)
+        assert len(planes) == small_stack.n_tiers
+        n = small_stack.rows * small_stack.cols
+        for matrix, rhs in planes:
+            assert matrix.shape == (n, n)
+            assert rhs.shape == (n,)
+
+    def test_grouped_sharing(self, small_stack):
+        groups = [0, 0, 0]  # replicated tiers
+        planes = plane_matrices(small_stack, groups=groups)
+        assert planes[0][0] is planes[1][0]
+        assert planes[0][0] is planes[2][0]
+
+    def test_ungrouped_not_shared(self, small_stack):
+        planes = plane_matrices(small_stack)
+        assert planes[0][0] is not planes[1][0]

@@ -1,0 +1,156 @@
+"""Tests for the VDA policies on synthetic affine fixed-point problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.core.vda import (
+    AdaptiveEtaVDA,
+    AndersonVDA,
+    FixedEtaVDA,
+    PerPillarSecantVDA,
+    make_vda_policy,
+)
+
+
+def run_policy(policy, a_matrix, target, v0, max_iter=300, tol=1e-10):
+    """Iterate v <- policy.update(v, F) with F = target - A v; returns
+    (iterations, final max |F|)."""
+    policy.reset(v0.size)
+    v = v0.copy()
+    for iteration in range(1, max_iter + 1):
+        residual = target - a_matrix @ v
+        if np.max(np.abs(residual)) <= tol:
+            return iteration, float(np.max(np.abs(residual)))
+        v = policy.update(v, residual)
+    residual = target - a_matrix @ v
+    return max_iter, float(np.max(np.abs(residual)))
+
+
+@pytest.fixture
+def affine_problem(rng):
+    """A VP-like Jacobian: rows sum to 1, diagonal > 1 (SPD-similar)."""
+    n = 12
+    off = -np.abs(rng.uniform(0.01, 0.03, size=(n, n)))
+    np.fill_diagonal(off, 0.0)
+    a = off + np.diag(1.0 - off.sum(axis=1))
+    target = rng.uniform(1.7, 1.8, size=n)
+    v0 = np.full(n, 1.8)
+    return a, target, v0
+
+
+class TestFixedEta:
+    def test_converges_with_small_eta(self, affine_problem):
+        a, target, v0 = affine_problem
+        iters, final = run_policy(FixedEtaVDA(eta=0.5), a, target, v0)
+        assert final <= 1e-10
+
+    def test_large_eta_can_diverge(self, affine_problem):
+        a, target, v0 = affine_problem
+        # eta = 1.9 / lambda_min exceeds the stability bound for the
+        # dominant eigenvalue; residuals should not shrink.
+        iters, final = run_policy(
+            FixedEtaVDA(eta=2.5), a, target, v0, max_iter=50
+        )
+        assert final > 1e-6
+
+    def test_bad_eta_rejected(self):
+        with pytest.raises(ReproError):
+            FixedEtaVDA(eta=0.0)
+
+
+class TestAdaptiveEta:
+    def test_converges(self, affine_problem):
+        a, target, v0 = affine_problem
+        iters, final = run_policy(AdaptiveEtaVDA(), a, target, v0)
+        assert final <= 1e-10
+
+    def test_faster_than_small_fixed_eta(self, affine_problem):
+        a, target, v0 = affine_problem
+        fixed_iters, _ = run_policy(FixedEtaVDA(eta=0.1), a, target, v0)
+        adaptive_iters, _ = run_policy(AdaptiveEtaVDA(eta0=0.1), a, target, v0)
+        assert adaptive_iters < fixed_iters
+
+    def test_recovers_from_overshoot(self, affine_problem):
+        """Starting with an unstable eta, shrinking must rescue it."""
+        a, target, v0 = affine_problem
+        iters, final = run_policy(
+            AdaptiveEtaVDA(eta0=2.5), a, target, v0, max_iter=400
+        )
+        assert final <= 1e-10
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            AdaptiveEtaVDA(grow=0.9)
+        with pytest.raises(ReproError):
+            AdaptiveEtaVDA(shrink=1.1)
+
+
+class TestSecant:
+    def test_converges_fast_on_diagonal_problem(self, rng):
+        """For a diagonal Jacobian the per-pillar secant is exact after
+        two iterations."""
+        n = 8
+        gains = rng.uniform(1.0, 3.0, size=n)
+        a = np.diag(gains)
+        target = rng.uniform(1.7, 1.8, size=n)
+        v0 = np.full(n, 1.8)
+        iters, final = run_policy(PerPillarSecantVDA(), a, target, v0)
+        assert iters <= 5
+        assert final <= 1e-10
+
+    def test_converges_on_coupled_problem(self, affine_problem):
+        a, target, v0 = affine_problem
+        iters, final = run_policy(PerPillarSecantVDA(), a, target, v0)
+        assert final <= 1e-10
+
+    def test_reset_clears_state(self, affine_problem):
+        a, target, v0 = affine_problem
+        policy = PerPillarSecantVDA()
+        run_policy(policy, a, target, v0)
+        policy.reset(v0.size)
+        assert policy._prev_v0 is None
+
+
+class TestAnderson:
+    def test_converges(self, affine_problem):
+        a, target, v0 = affine_problem
+        iters, final = run_policy(AndersonVDA(m=4), a, target, v0)
+        assert final <= 1e-10
+
+    def test_beats_fixed_on_ill_conditioned(self, rng):
+        """Anderson shines when the Jacobian has spread-out eigenvalues
+        (the sparse-pin regime)."""
+        n = 20
+        eigenvalues = np.linspace(1.0, 30.0, n)
+        q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        a = q @ np.diag(eigenvalues) @ q.T
+        target = rng.uniform(1.7, 1.8, size=n)
+        v0 = np.full(n, 1.8)
+        fixed_iters, fixed_final = run_policy(
+            FixedEtaVDA(eta=0.06), a, target, v0, max_iter=400
+        )
+        anderson_iters, anderson_final = run_policy(
+            AndersonVDA(m=10), a, target, v0, max_iter=400
+        )
+        assert anderson_final <= 1e-10
+        assert anderson_iters < fixed_iters
+
+    def test_window_validation(self):
+        with pytest.raises(ReproError):
+            AndersonVDA(m=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["fixed", "adaptive", "secant", "anderson"]
+    )
+    def test_known_policies(self, name):
+        policy = make_vda_policy(name)
+        assert policy.name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(ReproError):
+            make_vda_policy("newton")

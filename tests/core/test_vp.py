@@ -1,0 +1,271 @@
+"""Tests for the 3-D Voltage Propagation solver -- the paper's method.
+
+The central correctness property: VP's fixed point is the exact DC
+solution of the assembled 3-D system, for every inner solver and VDA
+policy, on power and ground nets, with uniform or irregular TSVs, and
+with full or partial pin maps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, GridError, ReproError
+from repro.grid.conductance import stack_system
+from repro.grid.generators import random_tsv_positions, synthesize_stack
+from repro.core.tsv import plane_kcl_residual
+from repro.core.vp import VPConfig, VoltagePropagationSolver, solve_vp
+from repro.linalg.direct import solve_direct
+
+
+def reference(stack):
+    matrix, rhs = stack_system(stack)
+    return solve_direct(matrix, rhs).reshape(
+        stack.n_tiers, stack.rows, stack.cols
+    )
+
+
+class TestConfig:
+    def test_bad_inner(self):
+        with pytest.raises(ReproError):
+            VPConfig(inner="spectral")
+
+    def test_bad_tols(self):
+        with pytest.raises(ReproError):
+            VPConfig(outer_tol=0.0)
+        with pytest.raises(ReproError):
+            VPConfig(max_outer=0)
+
+
+class TestAgainstDirect:
+    @pytest.mark.parametrize("inner", ["rb", "direct", "cg"])
+    def test_inner_solvers_match_direct(self, medium_stack, inner):
+        expected = reference(medium_stack)
+        result = solve_vp(medium_stack, inner=inner)
+        assert result.converged
+        error = np.max(np.abs(result.voltages - expected))
+        assert error < 0.5e-3  # the paper's budget
+        assert error < 2e-4    # and our own tighter default
+
+    @pytest.mark.parametrize(
+        "vda", ["fixed", "adaptive", "secant", "anderson"]
+    )
+    def test_vda_policies_match_direct(self, medium_stack, vda):
+        expected = reference(medium_stack)
+        result = solve_vp(medium_stack, vda=vda)
+        assert result.converged
+        assert np.max(np.abs(result.voltages - expected)) < 0.5e-3
+
+    def test_two_tier_stack(self):
+        stack = synthesize_stack(10, 10, 2, rng=0)
+        result = solve_vp(stack)
+        assert result.converged
+        assert np.max(np.abs(result.voltages - reference(stack))) < 0.5e-3
+
+    def test_single_tier_stack(self):
+        stack = synthesize_stack(10, 10, 1, rng=0)
+        result = solve_vp(stack)
+        assert result.converged
+        assert np.max(np.abs(result.voltages - reference(stack))) < 0.5e-3
+
+    def test_five_tier_stack(self):
+        stack = synthesize_stack(8, 8, 5, rng=0)
+        result = solve_vp(stack)
+        assert result.converged
+        assert np.max(np.abs(result.voltages - reference(stack))) < 0.5e-3
+
+    def test_random_tsv_distribution(self):
+        """The paper: the technique is oblivious to the TSV distribution."""
+        positions = random_tsv_positions(12, 12, 30, rng=5)
+        stack = synthesize_stack(12, 12, 3, tsv_positions=positions, rng=5)
+        result = solve_vp(stack)
+        assert result.converged
+        assert np.max(np.abs(result.voltages - reference(stack))) < 0.5e-3
+
+    def test_ground_net(self):
+        stack = synthesize_stack(10, 10, 3, net="gnd", rng=2)
+        result = solve_vp(stack)
+        assert result.converged
+        assert np.max(np.abs(result.voltages - reference(stack))) < 0.5e-3
+        # Ground bounce: voltages above 0.
+        assert result.voltages.max() > 0
+
+    def test_pin_subset(self, pinsubset_stack):
+        from repro.core.vda import AndersonVDA
+
+        result = solve_vp(
+            pinsubset_stack, vda=AndersonVDA(m=10), outer_tol=2e-5,
+            max_outer=400,
+        )
+        assert result.converged
+        assert np.max(
+            np.abs(result.voltages - reference(pinsubset_stack))
+        ) < 0.5e-3
+
+    def test_nonreplicated_tiers(self):
+        stack = synthesize_stack(10, 10, 3, replicate_tier=False, rng=4)
+        result = solve_vp(stack)
+        assert result.converged
+        assert np.max(np.abs(result.voltages - reference(stack))) < 0.5e-3
+
+    def test_tier_activity(self):
+        stack = synthesize_stack(
+            10, 10, 3, tier_activity=(1.0, 0.2, 2.0), rng=4
+        )
+        result = solve_vp(stack)
+        assert result.converged
+        assert np.max(np.abs(result.voltages - reference(stack))) < 0.5e-3
+
+    def test_large_tsv_resistance(self):
+        stack = synthesize_stack(10, 10, 3, r_tsv=5.0, rng=1)
+        result = solve_vp(stack)
+        assert result.converged
+        assert np.max(np.abs(result.voltages - reference(stack))) < 0.5e-3
+
+    def test_tiny_tsv_resistance(self):
+        stack = synthesize_stack(10, 10, 3, r_tsv=0.001, rng=1)
+        result = solve_vp(stack)
+        assert result.converged
+        assert np.max(np.abs(result.voltages - reference(stack))) < 0.5e-3
+
+
+class TestPhysicalInvariants:
+    def test_plane_kcl_satisfied(self, medium_stack):
+        """After convergence every tier's free nodes satisfy KCL."""
+        result = solve_vp(medium_stack, inner="direct")
+        flat = medium_stack.pillar_flat_indices()
+        for l, tier in enumerate(medium_stack.tiers):
+            residual = plane_kcl_residual(
+                tier, result.voltages[l], exclude_flat=flat
+            )
+            assert residual < 1e-8
+
+    def test_pillar_currents_sum_to_total_load(self, medium_stack):
+        result = solve_vp(medium_stack)
+        assert result.pillar_currents.sum() == pytest.approx(
+            medium_stack.total_load(), rel=1e-3
+        )
+
+    def test_voltages_at_or_below_vdd(self, medium_stack):
+        result = solve_vp(medium_stack)
+        assert np.all(result.voltages <= medium_stack.v_pin + 1e-9)
+
+    def test_drop_grows_away_from_pins(self, medium_stack):
+        """Tier 0 (farthest from pins) sees the worst average drop."""
+        result = solve_vp(medium_stack)
+        mean_by_tier = result.voltages.mean(axis=(1, 2))
+        assert mean_by_tier[0] <= mean_by_tier[-1] + 1e-12
+
+    def test_zero_loads_flat_vdd(self):
+        stack = synthesize_stack(8, 8, 3, current_per_node=0.0, rng=0)
+        result = solve_vp(stack)
+        assert result.converged
+        assert result.outer_iterations == 1
+        assert np.allclose(result.voltages, stack.v_pin)
+
+    def test_linearity_in_loads(self, medium_stack):
+        """Scaling loads by 2 scales drops by 2 (linear network)."""
+        base = solve_vp(medium_stack, outer_tol=1e-6, inner_tol=1e-8)
+        scaled_stack = medium_stack.copy()
+        for tier in scaled_stack.tiers:
+            tier.loads = tier.loads * 2.0
+        scaled = solve_vp(scaled_stack, outer_tol=1e-6, inner_tol=1e-8)
+        drop_base = medium_stack.v_pin - base.voltages
+        drop_scaled = scaled_stack.v_pin - scaled.voltages
+        assert np.max(np.abs(drop_scaled - 2 * drop_base)) < 1e-4
+
+    def test_worst_ir_drop_helper(self, medium_stack):
+        result = solve_vp(medium_stack)
+        drops = np.abs(medium_stack.v_pin - result.voltages)
+        assert result.worst_ir_drop() == pytest.approx(drops.max())
+
+
+class TestConvergenceBehaviour:
+    def test_history_recorded_and_decreasing_tail(self, medium_stack):
+        result = solve_vp(medium_stack, vda="adaptive")
+        assert len(result.history) == result.outer_iterations
+        diffs = [record.max_vdiff for record in result.history]
+        assert diffs[-1] <= diffs[0]
+
+    def test_max_outer_respected(self, medium_stack):
+        result = solve_vp(medium_stack, max_outer=1, outer_tol=1e-12)
+        assert result.outer_iterations == 1
+        assert not result.converged
+
+    def test_raise_on_divergence(self, medium_stack):
+        with pytest.raises(ConvergenceError):
+            solve_vp(
+                medium_stack, max_outer=1, outer_tol=1e-12,
+                raise_on_divergence=True,
+            )
+
+    def test_custom_v0_seed(self, medium_stack):
+        n_pillars = medium_stack.pillars.count
+        solver = VoltagePropagationSolver(medium_stack)
+        good_seed = solver.solve().pillar_v0
+        reseeded = solver.solve(v0=good_seed)
+        assert reseeded.outer_iterations <= 2
+
+    def test_v0_shape_checked(self, medium_stack):
+        solver = VoltagePropagationSolver(medium_stack)
+        with pytest.raises(GridError):
+            solver.solve(v0=np.ones(3))
+
+    def test_stats_populated(self, medium_stack):
+        result = solve_vp(medium_stack)
+        stats = result.stats
+        assert stats.solve_seconds > 0
+        assert stats.memory_bytes > 0
+        assert stats.total_inner_iterations >= result.outer_iterations
+        assert set(stats.phase_seconds) == {"cvn", "tsv", "propagate", "vda"}
+
+    def test_inner_tolerance_tightens(self, medium_stack):
+        result = solve_vp(medium_stack, vda="fixed", max_outer=50)
+        tols = [record.inner_tol for record in result.history]
+        assert tols[-1] <= tols[0]
+
+
+class TestSolverReuse:
+    def test_update_loads_resolves_correctly(self, medium_stack):
+        solver = VoltagePropagationSolver(medium_stack)
+        solver.solve()
+        new_loads = [tier.loads * 0.3 for tier in medium_stack.tiers]
+        solver.update_loads(new_loads)
+        result = solver.solve()
+        assert result.converged
+        expected = reference(medium_stack)  # stack was updated in place
+        assert np.max(np.abs(result.voltages - expected)) < 0.5e-3
+
+    def test_update_loads_validates_keepout(self, medium_stack):
+        solver = VoltagePropagationSolver(medium_stack)
+        bad = [tier.loads.copy() for tier in medium_stack.tiers]
+        position = medium_stack.pillars.positions[0]
+        bad[0][position[0], position[1]] = 1e-3
+        with pytest.raises(GridError):
+            solver.update_loads(bad)
+
+    def test_update_loads_validates_shape(self, medium_stack):
+        solver = VoltagePropagationSolver(medium_stack)
+        with pytest.raises(GridError):
+            solver.update_loads([np.zeros((2, 2))] * 3)
+
+    def test_tier_sharing_detected(self, medium_stack):
+        """Replicated tiers share one row-based solver structure."""
+        solver = VoltagePropagationSolver(medium_stack)
+        assert solver._rb_solvers[0] is solver._rb_solvers[1]
+        assert solver._rb_solvers[0] is solver._rb_solvers[2]
+
+    def test_distinct_tiers_not_shared(self):
+        stack = synthesize_stack(10, 10, 3, replicate_tier=False, rng=4)
+        solver = VoltagePropagationSolver(stack)
+        # Loads differ but geometry is identical -> still shared (loads
+        # live in the per-tier RHS, not the solver structure).
+        assert solver._rb_solvers[0] is solver._rb_solvers[1]
+
+    def test_memory_accounting_positive(self, medium_stack):
+        for inner in ("rb", "direct", "cg"):
+            solver = VoltagePropagationSolver(
+                medium_stack, VPConfig(inner=inner)
+            )
+            assert solver.memory_bytes > 0

@@ -1,0 +1,102 @@
+"""Property-based tests: VP equals the direct solution across randomized
+stack configurations.
+
+These are the strongest correctness guarantees in the suite: hypothesis
+searches over lattice shapes, tier counts, TSV pitches/offsets, load
+magnitudes and TSV resistances (within the paper's low-resistance design
+regime), and every sampled stack must solve to within the 0.5 mV budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.grid.conductance import stack_system
+from repro.grid.generators import synthesize_stack, uniform_tsv_positions
+from repro.core.vp import solve_vp
+from repro.linalg.direct import solve_direct
+
+BUDGET = 0.5e-3
+
+stack_params = st.fixed_dictionaries(
+    {
+        "rows": st.integers(4, 14),
+        "cols": st.integers(4, 14),
+        "n_tiers": st.integers(1, 4),
+        "tsv_pitch": st.integers(2, 4),
+        "r_tsv": st.floats(0.005, 0.2),
+        "current_per_node": st.floats(1e-5, 5e-3),
+        "seed": st.integers(0, 10_000),
+    }
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=stack_params)
+def test_vp_matches_direct_on_random_stacks(params):
+    seed = params.pop("seed")
+    stack = synthesize_stack(
+        params.pop("rows"),
+        params.pop("cols"),
+        params.pop("n_tiers"),
+        rng=seed,
+        **params,
+    )
+    result = solve_vp(stack)
+    assert result.converged
+    reference = solve_direct(*stack_system(stack))
+    error = np.max(np.abs(result.flat_voltages() - reference))
+    assert error <= BUDGET
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rows=st.integers(6, 12),
+    cols=st.integers(6, 12),
+    offset_i=st.integers(0, 1),
+    offset_j=st.integers(0, 1),
+    seed=st.integers(0, 1000),
+)
+def test_vp_oblivious_to_tsv_offset(rows, cols, offset_i, offset_j, seed):
+    """The paper: 'the technique is oblivious to the TSV distribution'."""
+    positions = uniform_tsv_positions(
+        rows, cols, 2, offset=(offset_i, offset_j)
+    )
+    stack = synthesize_stack(
+        rows, cols, 3, tsv_positions=positions, rng=seed
+    )
+    result = solve_vp(stack)
+    assert result.converged
+    reference = solve_direct(*stack_system(stack))
+    assert np.max(np.abs(result.flat_voltages() - reference)) <= BUDGET
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    shift=st.floats(-0.5, 0.5),
+)
+def test_vp_shift_equivariance(seed, shift):
+    """Raising the pin voltage by a constant shifts every node voltage by
+    exactly that constant (current sources are voltage-independent)."""
+    base = synthesize_stack(8, 8, 3, rng=seed)
+    shifted = synthesize_stack(8, 8, 3, v_pin=1.8 + shift, rng=seed)
+    result_base = solve_vp(base, outer_tol=1e-6, inner_tol=1e-8)
+    result_shifted = solve_vp(shifted, outer_tol=1e-6, inner_tol=1e-8)
+    delta = result_shifted.voltages - result_base.voltages
+    assert np.max(np.abs(delta - shift)) < 1e-4
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_vp_deterministic(seed):
+    """Same stack, same config -> bitwise identical voltages."""
+    stack = synthesize_stack(8, 8, 3, rng=seed)
+    a = solve_vp(stack)
+    b = solve_vp(stack)
+    assert np.array_equal(a.voltages, b.voltages)

@@ -1,0 +1,159 @@
+"""Tests for benchmark-grid synthesis (the paper's §III-B-2 construction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid.generators import (
+    paper_stack,
+    random_tsv_positions,
+    synthesize_stack,
+    synthesize_tier,
+    uniform_tsv_positions,
+)
+
+
+class TestUniformTSVPositions:
+    def test_pitch2_density_one_in_four(self):
+        """The paper: one TSV node for every four nodes."""
+        positions = uniform_tsv_positions(8, 8, pitch=2)
+        assert positions.shape[0] == 16  # 64 / 4
+
+    def test_positions_on_pitch_lattice(self):
+        positions = uniform_tsv_positions(9, 9, pitch=3)
+        assert np.all(positions % 3 == 0)
+
+    def test_offset(self):
+        positions = uniform_tsv_positions(8, 8, pitch=2, offset=(1, 1))
+        assert np.all(positions % 2 == 1)
+
+    def test_bad_pitch(self):
+        with pytest.raises(GridError):
+            uniform_tsv_positions(8, 8, pitch=0)
+
+    def test_bad_offset(self):
+        with pytest.raises(GridError):
+            uniform_tsv_positions(8, 8, pitch=2, offset=(2, 0))
+
+    def test_odd_dimensions(self):
+        positions = uniform_tsv_positions(7, 5, pitch=2)
+        assert positions[:, 0].max() == 6
+        assert positions[:, 1].max() == 4
+
+
+class TestRandomTSVPositions:
+    def test_count_and_uniqueness(self):
+        positions = random_tsv_positions(10, 10, 25, rng=0)
+        assert positions.shape == (25, 2)
+        flat = positions[:, 0] * 10 + positions[:, 1]
+        assert np.unique(flat).size == 25
+
+    def test_too_many_rejected(self):
+        with pytest.raises(GridError):
+            random_tsv_positions(3, 3, 10)
+
+    def test_deterministic_with_seed(self):
+        a = random_tsv_positions(10, 10, 5, rng=42)
+        b = random_tsv_positions(10, 10, 5, rng=42)
+        assert np.array_equal(a, b)
+
+
+class TestSynthesizeTier:
+    def test_keepout_respected(self):
+        keepout = np.zeros((6, 6), dtype=bool)
+        keepout[::2, ::2] = True
+        tier = synthesize_tier(6, 6, keepout=keepout, rng=0)
+        assert np.all(tier.loads[keepout] == 0)
+        assert tier.loads[~keepout].sum() > 0
+
+    def test_total_current_control(self):
+        tier = synthesize_tier(6, 6, total_current=2.5, rng=0)
+        assert tier.total_load() == pytest.approx(2.5)
+
+    def test_jitter_changes_conductances(self):
+        tier = synthesize_tier(6, 6, jitter_sigma=0.3, rng=0)
+        assert not tier.is_uniform()
+
+
+class TestSynthesizeStack:
+    def test_paper_construction_defaults(self):
+        stack = synthesize_stack(8, 8, 3, rng=0)
+        assert stack.n_tiers == 3
+        assert stack.pillars.count == 16
+        assert np.all(stack.pillars.r_seg == 0.05)
+        assert stack.v_pin == 1.8
+        assert stack.keepout_violations() == 0
+
+    def test_replicated_tiers_identical(self):
+        stack = synthesize_stack(6, 6, 3, rng=0, replicate_tier=True)
+        assert np.array_equal(stack.tiers[0].loads, stack.tiers[1].loads)
+        assert np.array_equal(stack.tiers[0].g_h, stack.tiers[2].g_h)
+
+    def test_independent_tiers_differ(self):
+        stack = synthesize_stack(6, 6, 3, rng=0, replicate_tier=False)
+        assert not np.array_equal(stack.tiers[0].loads, stack.tiers[1].loads)
+
+    def test_tier_activity_scaling(self):
+        stack = synthesize_stack(
+            6, 6, 2, rng=0, tier_activity=(1.0, 0.5)
+        )
+        assert stack.tiers[1].total_load() == pytest.approx(
+            0.5 * stack.tiers[0].total_load()
+        )
+
+    def test_tier_activity_length_checked(self):
+        with pytest.raises(GridError):
+            synthesize_stack(6, 6, 3, tier_activity=(1.0, 2.0))
+
+    def test_gnd_net_flips_signs(self):
+        stack = synthesize_stack(6, 6, 2, net="gnd", rng=0)
+        assert stack.v_pin == 0.0
+        assert stack.total_load() < 0
+
+    def test_pin_fraction(self):
+        stack = synthesize_stack(8, 8, 3, pin_fraction=0.25, rng=0)
+        assert stack.pillars.pin_count == 4  # 16 pillars * 0.25
+
+    def test_pin_fraction_bounds(self):
+        with pytest.raises(GridError):
+            synthesize_stack(8, 8, 3, pin_fraction=0.0)
+
+    def test_explicit_pin_mask(self):
+        mask = np.zeros(16, dtype=bool)
+        mask[0] = True
+        stack = synthesize_stack(8, 8, 3, pin_mask=mask, rng=0)
+        assert stack.pillars.pin_count == 1
+
+    def test_explicit_positions(self):
+        positions = np.array([[0, 0], [7, 7]])
+        stack = synthesize_stack(8, 8, 2, tsv_positions=positions, rng=0)
+        assert stack.pillars.count == 2
+
+    def test_custom_tsv_resistance(self):
+        stack = synthesize_stack(6, 6, 2, r_tsv=1.25, rng=0)
+        assert np.all(stack.pillars.r_seg == 1.25)
+
+    def test_deterministic_with_seed(self):
+        a = synthesize_stack(6, 6, 3, rng=5)
+        b = synthesize_stack(6, 6, 3, rng=5)
+        assert np.array_equal(a.tiers[0].loads, b.tiers[0].loads)
+
+
+class TestPaperStack:
+    def test_c0_node_count(self):
+        stack = paper_stack(10)  # scaled-down shape check
+        assert stack.n_nodes == 300
+
+    def test_paper_parameters(self):
+        stack = paper_stack(10)
+        assert stack.n_tiers == 3
+        assert np.all(stack.pillars.r_seg == 0.05)
+        assert stack.v_pin == 1.8
+        # one TSV per four nodes
+        assert stack.pillars.count == 25
+
+    def test_overrides_forwarded(self):
+        stack = paper_stack(10, r_tsv=0.5)
+        assert np.all(stack.pillars.r_seg == 0.5)

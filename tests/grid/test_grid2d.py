@@ -1,0 +1,122 @@
+"""Tests for the Grid2D tier model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid.grid2d import Grid2D
+
+
+class TestConstruction:
+    def test_uniform_shapes(self):
+        grid = Grid2D.uniform(4, 6, r_wire=2.0)
+        assert grid.g_h.shape == (4, 5)
+        assert grid.g_v.shape == (3, 6)
+        assert grid.loads.shape == (4, 6)
+        assert grid.g_pad.shape == (4, 6)
+
+    def test_uniform_conductance_value(self):
+        grid = Grid2D.uniform(3, 3, r_wire=2.0)
+        assert np.all(grid.g_h == 0.5)
+        assert np.all(grid.g_v == 0.5)
+
+    def test_anisotropic_wires(self):
+        grid = Grid2D.uniform(3, 3, r_row=2.0, r_col=4.0)
+        assert np.all(grid.g_h == 0.5)
+        assert np.all(grid.g_v == 0.25)
+
+    def test_single_node_grid(self):
+        grid = Grid2D.uniform(1, 1)
+        assert grid.n_nodes == 1
+        assert grid.g_h.shape == (1, 0)
+        assert grid.g_v.shape == (0, 1)
+
+    def test_single_row(self):
+        grid = Grid2D.uniform(1, 5)
+        assert grid.g_v.shape == (0, 5)
+        assert grid.g_h.shape == (1, 4)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(GridError):
+            Grid2D.uniform(0, 5)
+
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(GridError):
+            Grid2D.uniform(3, 3, r_wire=-1.0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GridError):
+            Grid2D(rows=3, cols=3, g_h=np.ones((3, 3)), g_v=np.ones((2, 3)))
+
+    def test_negative_conductance_rejected(self):
+        g_h = np.ones((3, 2))
+        g_h[0, 0] = -1.0
+        with pytest.raises(GridError):
+            Grid2D(rows=3, cols=3, g_h=g_h, g_v=np.ones((2, 3)))
+
+
+class TestIndexing:
+    def test_node_index_row_major(self):
+        grid = Grid2D.uniform(3, 4)
+        assert grid.node_index(0, 0) == 0
+        assert grid.node_index(1, 0) == 4
+        assert grid.node_index(2, 3) == 11
+
+    def test_node_coords_inverse(self):
+        grid = Grid2D.uniform(3, 4)
+        for flat in range(grid.n_nodes):
+            i, j = grid.node_coords(flat)
+            assert grid.node_index(i, j) == flat
+
+    def test_out_of_range_index(self):
+        grid = Grid2D.uniform(3, 4)
+        with pytest.raises(GridError):
+            grid.node_index(3, 0)
+        with pytest.raises(GridError):
+            grid.node_coords(12)
+
+
+class TestQueries:
+    def test_total_load(self):
+        grid = Grid2D.uniform(2, 2)
+        grid.loads = np.array([[1.0, 2.0], [3.0, 4.0]]) * 1e-3
+        assert grid.total_load() == pytest.approx(10e-3)
+
+    def test_degree_conductance_interior(self):
+        grid = Grid2D.uniform(3, 3, r_wire=1.0)
+        deg = grid.degree_conductance()
+        assert deg[1, 1] == pytest.approx(4.0)  # four neighbours
+        assert deg[0, 0] == pytest.approx(2.0)  # corner
+        assert deg[0, 1] == pytest.approx(3.0)  # edge
+
+    def test_degree_includes_pads(self):
+        grid = Grid2D.uniform(3, 3)
+        grid.g_pad[1, 1] = 10.0
+        assert grid.degree_conductance()[1, 1] == pytest.approx(14.0)
+
+    def test_is_uniform(self):
+        grid = Grid2D.uniform(3, 3)
+        assert grid.is_uniform()
+        grid.g_h[0, 0] = 3.0
+        assert not grid.is_uniform()
+
+    def test_copy_is_deep(self):
+        grid = Grid2D.uniform(3, 3)
+        clone = grid.copy()
+        clone.g_h[0, 0] = 99.0
+        clone.loads[0, 0] = 1.0
+        assert grid.g_h[0, 0] == 1.0
+        assert grid.loads[0, 0] == 0.0
+
+    def test_with_loads_returns_new(self):
+        grid = Grid2D.uniform(2, 3)
+        loaded = grid.with_loads(np.full((2, 3), 1e-3))
+        assert grid.total_load() == 0.0
+        assert loaded.total_load() == pytest.approx(6e-3)
+
+    def test_with_loads_validates_shape(self):
+        grid = Grid2D.uniform(2, 3)
+        with pytest.raises(GridError):
+            grid.with_loads(np.zeros((3, 2)))

@@ -1,0 +1,82 @@
+"""Tests for device-load synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GridError
+from repro.grid.loads import LOAD_PATTERNS, make_loads
+
+
+class TestMakeLoads:
+    @pytest.mark.parametrize("pattern", LOAD_PATTERNS)
+    def test_all_patterns_nonnegative(self, pattern):
+        loads = make_loads(8, 8, pattern=pattern, rng=0)
+        assert np.all(loads >= 0)
+
+    @pytest.mark.parametrize("pattern", LOAD_PATTERNS)
+    def test_keepout_strictly_zero(self, pattern):
+        allowed = np.ones((8, 8), dtype=bool)
+        allowed[::2, ::2] = False
+        loads = make_loads(8, 8, allowed, pattern=pattern, rng=0)
+        assert np.all(loads[~allowed] == 0)
+
+    def test_uniform_exact(self):
+        loads = make_loads(4, 4, pattern="uniform", current_per_node=2e-3)
+        assert np.allclose(loads, 2e-3)
+
+    def test_random_mean_close(self):
+        loads = make_loads(50, 50, pattern="random", current_per_node=1e-3, rng=0)
+        assert loads.mean() == pytest.approx(1e-3, rel=0.05)
+
+    def test_lognormal_mean_close(self):
+        loads = make_loads(
+            60, 60, pattern="lognormal", current_per_node=1e-3, rng=0
+        )
+        assert loads.mean() == pytest.approx(1e-3, rel=0.15)
+
+    def test_hotspot_has_contrast(self):
+        loads = make_loads(30, 30, pattern="hotspot", rng=0)
+        assert loads.max() > 2.0 * loads[loads > 0].mean()
+
+    def test_total_current_rescale(self):
+        loads = make_loads(10, 10, pattern="random", total_current=0.7, rng=0)
+        assert loads.sum() == pytest.approx(0.7)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(GridError):
+            make_loads(4, 4, pattern="sinusoidal")
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(GridError):
+            make_loads(4, 4, current_per_node=-1.0)
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(GridError):
+            make_loads(4, 4, total_current=-1.0)
+
+    def test_bad_mask_shape(self):
+        with pytest.raises(GridError):
+            make_loads(4, 4, allowed=np.ones((3, 3), dtype=bool))
+
+    def test_empty_mask_gives_zero(self):
+        loads = make_loads(4, 4, allowed=np.zeros((4, 4), dtype=bool), rng=0)
+        assert np.all(loads == 0)
+
+    def test_deterministic_with_seed(self):
+        a = make_loads(6, 6, pattern="random", rng=9)
+        b = make_loads(6, 6, pattern="random", rng=9)
+        assert np.array_equal(a, b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(2, 12),
+        cols=st.integers(2, 12),
+        seed=st.integers(0, 1000),
+    )
+    def test_shapes_and_signs_property(self, rows, cols, seed):
+        loads = make_loads(rows, cols, pattern="random", rng=seed)
+        assert loads.shape == (rows, cols)
+        assert np.all(loads >= 0)

@@ -1,0 +1,150 @@
+"""Tests for pad placement, conductance jitter, and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid.generators import synthesize_stack
+from repro.grid.grid2d import Grid2D
+from repro.grid.pads import PAD_SCHEMES, pad_mask, place_pads
+from repro.grid.perturb import perturb_conductances
+from repro.grid.validate import (
+    tier_degree_stats,
+    validate_grid2d,
+    validate_stack,
+)
+
+
+class TestPads:
+    @pytest.mark.parametrize("scheme", PAD_SCHEMES)
+    def test_all_schemes_place_something(self, scheme):
+        mask = pad_mask(8, 8, scheme)
+        assert mask.any()
+
+    def test_corners(self):
+        mask = pad_mask(5, 7, "corners")
+        assert mask.sum() == 4
+        assert mask[0, 0] and mask[0, 6] and mask[4, 0] and mask[4, 6]
+
+    def test_center(self):
+        mask = pad_mask(5, 5, "center")
+        assert mask.sum() == 1 and mask[2, 2]
+
+    def test_uniform_pitch(self):
+        mask = pad_mask(8, 8, "uniform", pitch=4)
+        assert mask.sum() == 4
+
+    def test_unknown_scheme(self):
+        with pytest.raises(GridError):
+            pad_mask(4, 4, "diagonal")
+
+    def test_place_pads_sets_conductance(self):
+        grid = Grid2D.uniform(4, 4)
+        padded = place_pads(grid, "corners", v_pad=1.2, r_pad=0.5)
+        assert padded.v_pad == 1.2
+        assert padded.g_pad[0, 0] == pytest.approx(2.0)
+        assert grid.g_pad[0, 0] == 0.0  # original untouched
+
+    def test_bad_pad_resistance(self):
+        with pytest.raises(GridError):
+            place_pads(Grid2D.uniform(4, 4), "corners", r_pad=0.0)
+
+
+class TestPerturb:
+    def test_zero_sigma_identity(self):
+        grid = Grid2D.uniform(5, 5)
+        out = perturb_conductances(grid, 0.0)
+        assert np.array_equal(out.g_h, grid.g_h)
+
+    def test_jitter_positive_and_different(self):
+        grid = Grid2D.uniform(5, 5)
+        out = perturb_conductances(grid, 0.4, rng=0)
+        assert np.all(out.g_h > 0)
+        assert not np.array_equal(out.g_h, grid.g_h)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(GridError):
+            perturb_conductances(Grid2D.uniform(3, 3), -0.1)
+
+    def test_loads_untouched(self):
+        grid = Grid2D.uniform(4, 4)
+        grid.loads[:] = 1e-3
+        out = perturb_conductances(grid, 0.5, rng=1)
+        assert np.array_equal(out.loads, grid.loads)
+
+
+class TestValidateGrid2D:
+    def test_padless_grid_fails(self):
+        report = validate_grid2d(Grid2D.uniform(4, 4))
+        assert not report.ok
+        assert any("singular" in e for e in report.errors)
+
+    def test_padless_ok_when_not_required(self):
+        report = validate_grid2d(Grid2D.uniform(4, 4), require_pads=False)
+        assert report.ok
+
+    def test_padded_grid_passes(self):
+        grid = place_pads(Grid2D.uniform(4, 4), "corners")
+        assert validate_grid2d(grid).ok
+
+    def test_disconnected_island_detected(self):
+        grid = place_pads(Grid2D.uniform(2, 4), "corners")
+        # Cut column 1 from column 2 everywhere, pads are in cols 0 and 3.
+        grid.g_h[:, 1] = 0.0
+        grid.g_pad[:, :2] = 0.0  # pads only on the right half now
+        report = validate_grid2d(grid)
+        assert not report.ok
+
+    def test_nonfinite_rejected(self):
+        grid = place_pads(Grid2D.uniform(3, 3), "corners")
+        grid.loads[0, 0] = np.nan
+        report = validate_grid2d(grid)
+        assert not report.ok
+
+    def test_raise_if_failed(self):
+        report = validate_grid2d(Grid2D.uniform(4, 4))
+        with pytest.raises(GridError):
+            report.raise_if_failed()
+
+
+class TestValidateStack:
+    def test_good_stack_passes(self, small_stack):
+        assert validate_stack(small_stack).ok
+
+    def test_keepout_violation_is_error(self, small_stack):
+        bad = small_stack.copy()
+        position = bad.pillars.positions[0]
+        bad.tiers[0].loads[position[0], position[1]] = 1e-3
+        report = validate_stack(bad)
+        assert not report.ok
+
+    def test_keepout_violation_warns_when_lenient(self, small_stack):
+        bad = small_stack.copy()
+        position = bad.pillars.positions[0]
+        bad.tiers[0].loads[position[0], position[1]] = 1e-3
+        report = validate_stack(bad, strict_keepout=False)
+        assert report.ok
+        assert report.warnings
+
+    def test_inplane_pads_warn(self, small_stack):
+        odd = small_stack.copy()
+        odd.tiers[0].g_pad[1, 1] = 10.0
+        report = validate_stack(odd)
+        assert any("in-plane pads" in w for w in report.warnings)
+
+    def test_pin_subset_still_connected(self):
+        stack = synthesize_stack(8, 8, 3, pin_fraction=0.25, rng=0)
+        assert validate_stack(stack).ok
+
+
+class TestDegreeStats:
+    def test_pure_mesh_ratio_one(self):
+        stats = tier_degree_stats(Grid2D.uniform(5, 5))
+        assert stats["min_ratio"] == pytest.approx(1.0)
+
+    def test_pads_raise_ratio(self):
+        grid = place_pads(Grid2D.uniform(5, 5), "corners", r_pad=0.01)
+        stats = tier_degree_stats(grid)
+        assert stats["min_ratio"] > 1.0 or stats["mean_ratio"] > 1.0

@@ -1,0 +1,128 @@
+"""Tests for the 3-D stack model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid.grid2d import Grid2D
+from repro.grid.stack3d import PillarSet, PowerGridStack
+
+
+def make_stack(rows=4, cols=4, tiers=3, positions=None, **pillar_kwargs):
+    grids = [Grid2D.uniform(rows, cols) for _ in range(tiers)]
+    if positions is None:
+        positions = np.array([[0, 0], [2, 2]])
+    pillars = PillarSet.uniform(positions, tiers, **pillar_kwargs)
+    return PowerGridStack(grids, pillars)
+
+
+class TestPillarSet:
+    def test_uniform_segments(self):
+        pillars = PillarSet.uniform(np.array([[0, 0]]), 3, r_tsv=0.05)
+        assert pillars.r_seg.shape == (3, 1)
+        assert np.all(pillars.r_seg == 0.05)
+
+    def test_counts(self):
+        pillars = PillarSet.uniform(np.array([[0, 0], [1, 1]]), 4)
+        assert pillars.count == 2
+        assert pillars.n_tiers == 4
+        assert pillars.pin_count == 2
+
+    def test_default_all_pinned(self):
+        pillars = PillarSet.uniform(np.array([[0, 0], [1, 1]]), 2)
+        assert pillars.has_pin.all()
+
+    def test_pin_subset(self):
+        pillars = PillarSet.uniform(
+            np.array([[0, 0], [1, 1]]), 2, has_pin=np.array([True, False])
+        )
+        assert pillars.pin_count == 1
+
+    def test_no_pins_rejected(self):
+        with pytest.raises(GridError):
+            PillarSet.uniform(
+                np.array([[0, 0]]), 2, has_pin=np.array([False])
+            )
+
+    def test_nonpositive_resistance_rejected(self):
+        with pytest.raises(GridError):
+            PillarSet(
+                positions=np.array([[0, 0]]),
+                r_seg=np.zeros((2, 1)),
+                v_pin=1.8,
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GridError):
+            PillarSet(
+                positions=np.array([[0, 0], [1, 1]]),
+                r_seg=np.ones((2, 1)),
+                v_pin=1.8,
+            )
+
+
+class TestPowerGridStack:
+    def test_basic_properties(self):
+        stack = make_stack()
+        assert stack.n_tiers == 3
+        assert stack.n_nodes == 48
+        assert stack.rows == 4 and stack.cols == 4
+        assert stack.v_pin == 1.8
+
+    def test_pillar_flat_indices(self):
+        stack = make_stack()
+        flat = stack.pillar_flat_indices()
+        assert list(flat) == [0, 10]  # (0,0) -> 0, (2,2) -> 2*4+2
+
+    def test_pillar_mask(self):
+        stack = make_stack()
+        mask = stack.pillar_mask()
+        assert mask.sum() == 2
+        assert mask[0, 0] and mask[2, 2]
+
+    def test_mismatched_tier_shapes_rejected(self):
+        grids = [Grid2D.uniform(4, 4), Grid2D.uniform(4, 5)]
+        pillars = PillarSet.uniform(np.array([[0, 0]]), 2)
+        with pytest.raises(GridError):
+            PowerGridStack(grids, pillars)
+
+    def test_pillar_out_of_bounds_rejected(self):
+        with pytest.raises(GridError):
+            make_stack(positions=np.array([[5, 0]]))
+
+    def test_duplicate_pillars_rejected(self):
+        with pytest.raises(GridError):
+            make_stack(positions=np.array([[0, 0], [0, 0]]))
+
+    def test_tier_count_mismatch_rejected(self):
+        grids = [Grid2D.uniform(4, 4) for _ in range(2)]
+        pillars = PillarSet.uniform(np.array([[0, 0]]), 3)
+        with pytest.raises(GridError):
+            PowerGridStack(grids, pillars)
+
+    def test_bad_net_rejected(self):
+        grids = [Grid2D.uniform(4, 4)]
+        pillars = PillarSet.uniform(np.array([[0, 0]]), 1)
+        with pytest.raises(GridError):
+            PowerGridStack(grids, pillars, net="power")
+
+    def test_keepout_violations_counted(self):
+        stack = make_stack()
+        stack.tiers[1].loads[2, 2] = 1e-3  # load on a pillar node
+        assert stack.keepout_violations() == 1
+
+    def test_total_load_sums_tiers(self):
+        stack = make_stack()
+        for tier in stack.tiers:
+            tier.loads[1, 1] = 2e-3
+        assert stack.total_load() == pytest.approx(6e-3)
+
+    def test_copy_independent(self):
+        stack = make_stack()
+        clone = stack.copy()
+        clone.tiers[0].loads[1, 1] = 5.0
+        clone.pillars.r_seg[0, 0] = 99.0
+        assert stack.tiers[0].loads[1, 1] == 0.0
+        assert stack.pillars.r_seg[0, 0] == 0.05

@@ -1,0 +1,110 @@
+"""Tests for the .solution file format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolutionFormatError
+from repro.io.solution import (
+    compare_solution_files,
+    read_solution,
+    stack_solution_dict,
+    write_solution,
+)
+
+
+class TestRoundTrip:
+    def test_basic(self, tmp_path):
+        voltages = {"n0_0_0": 1.79923, "n0_0_1": 1.7, "P0": 1.8}
+        path = tmp_path / "a.solution"
+        write_solution(voltages, path)
+        assert read_solution(path) == pytest.approx(voltages)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.dictionaries(
+            st.from_regex(r"n[0-9]_[0-9]+_[0-9]+", fullmatch=True),
+            st.floats(
+                min_value=-10, max_value=10,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, values):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "prop.solution"
+            write_solution(values, path)
+            again = read_solution(path)
+        assert set(again) == set(values)
+        for key in values:
+            assert again[key] == pytest.approx(values[key], rel=1e-8)
+
+
+class TestReadValidation:
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.solution"
+        path.write_text("n0_0_0 1.8 extra\n")
+        with pytest.raises(SolutionFormatError):
+            read_solution(path)
+
+    def test_bad_number(self, tmp_path):
+        path = tmp_path / "bad.solution"
+        path.write_text("n0_0_0 one\n")
+        with pytest.raises(SolutionFormatError):
+            read_solution(path)
+
+    def test_duplicate_node(self, tmp_path):
+        path = tmp_path / "dup.solution"
+        path.write_text("a 1.0\na 2.0\n")
+        with pytest.raises(SolutionFormatError):
+            read_solution(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.solution"
+        path.write_text("* comment only\n")
+        with pytest.raises(SolutionFormatError):
+            read_solution(path)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.solution"
+        path.write_text("* header\nn0_0_0 1.8\n\n")
+        assert read_solution(path) == {"n0_0_0": 1.8}
+
+
+class TestStackSolutionDict:
+    def test_names_and_values(self, small_stack):
+        voltages = np.random.default_rng(0).uniform(
+            1.7, 1.8, (3, 8, 8)
+        )
+        named = stack_solution_dict(small_stack, voltages)
+        assert len(named) == small_stack.n_nodes
+        assert named["n2_7_7"] == pytest.approx(voltages[2, 7, 7])
+
+    def test_shape_check(self, small_stack):
+        with pytest.raises(SolutionFormatError):
+            stack_solution_dict(small_stack, np.zeros((2, 8, 8)))
+
+
+class TestCompareFiles:
+    def test_metrics(self, tmp_path):
+        write_solution({"a": 1.0, "b": 2.0}, tmp_path / "x.solution")
+        write_solution({"a": 1.0001, "b": 2.0, "c": 9.0}, tmp_path / "y.solution")
+        metrics = compare_solution_files(
+            tmp_path / "x.solution", tmp_path / "y.solution"
+        )
+        assert metrics["max_error"] == pytest.approx(1e-4)
+        assert metrics["common_nodes"] == 2
+        assert metrics["missing"] == 1
+
+    def test_disjoint_rejected(self, tmp_path):
+        write_solution({"a": 1.0}, tmp_path / "x.solution")
+        write_solution({"b": 1.0}, tmp_path / "y.solution")
+        with pytest.raises(SolutionFormatError):
+            compare_solution_files(tmp_path / "x.solution", tmp_path / "y.solution")

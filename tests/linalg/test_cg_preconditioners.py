@@ -1,0 +1,190 @@
+"""Tests for CG/PCG and the preconditioner family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import ReproError, SingularSystemError
+from repro.grid.conductance import stack_system
+from repro.linalg.cg import cg
+from repro.linalg.direct import solve_direct
+from repro.linalg.ic0 import ic0_factor
+from repro.linalg.preconditioners import (
+    IC0Preconditioner,
+    ILUPreconditioner,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    SSORPreconditioner,
+    make_preconditioner,
+)
+
+
+def laplacian_system(rng, n=60):
+    """1-D Laplacian with a grounded end -- SPD, moderately conditioned."""
+    main = np.full(n, 2.0)
+    off = np.full(n - 1, -1.0)
+    a = sp.diags([off, main, off], [-1, 0, 1], format="csr")
+    b = rng.standard_normal(n)
+    return a, b
+
+
+class TestCG:
+    def test_matches_direct(self, rng):
+        a, b = laplacian_system(rng)
+        expected = solve_direct(a, b)
+        result = cg(a, b, tol=1e-12)
+        assert result.converged
+        assert np.allclose(result.x, expected, atol=1e-8)
+
+    def test_matches_scipy(self, rng):
+        a, b = laplacian_system(rng)
+        ours = cg(a, b, tol=1e-10)
+        theirs, info = spla.cg(a, b, rtol=1e-10)
+        assert info == 0
+        assert np.allclose(ours.x, theirs, atol=1e-6)
+
+    def test_exact_in_n_iterations(self, rng):
+        a, b = laplacian_system(rng, n=25)
+        result = cg(a, b, tol=1e-10)
+        assert result.iterations <= 25 + 1
+
+    def test_warm_start(self, rng):
+        a, b = laplacian_system(rng)
+        expected = solve_direct(a, b)
+        result = cg(a, b, x0=expected, tol=1e-10)
+        assert result.iterations <= 1
+
+    def test_zero_rhs_short_circuit(self, rng):
+        a, _ = laplacian_system(rng)
+        result = cg(a, np.zeros(a.shape[0]), tol=1e-10)
+        assert result.converged
+        assert np.allclose(result.x, 0)
+
+    def test_preconditioning_reduces_iterations(self, medium_stack):
+        matrix, rhs = stack_system(medium_stack)
+        plain = cg(matrix, rhs, tol=1e-10)
+        preconditioned = cg(
+            matrix, rhs, m_inv=JacobiPreconditioner(matrix).apply, tol=1e-10
+        )
+        assert preconditioned.converged
+        assert preconditioned.iterations <= plain.iterations
+
+    def test_history_and_criterion(self, rng):
+        a, b = laplacian_system(rng)
+        result = cg(a, b, tol=1e-8, record_history=True, criterion="max_dx")
+        assert result.criterion == "max_dx"
+        assert len(result.history) == result.iterations
+
+    def test_non_square_rejected(self):
+        a = sp.csr_matrix(np.ones((3, 4)))
+        with pytest.raises(ReproError):
+            cg(a, np.ones(3))
+
+    def test_max_iter_respected(self, rng):
+        a, b = laplacian_system(rng, n=200)
+        result = cg(a, b, tol=1e-14, max_iter=3)
+        assert result.iterations == 3
+        assert not result.converged
+
+
+class TestIC0:
+    def test_exact_on_tridiagonal(self, rng):
+        """IC(0) of a tridiagonal SPD matrix is the exact Cholesky factor."""
+        a, _ = laplacian_system(rng, n=30)
+        lower = ic0_factor(a)
+        reconstructed = (lower @ lower.T).toarray()
+        assert np.allclose(reconstructed, a.toarray(), atol=1e-12)
+
+    def test_sparsity_preserved(self, medium_stack):
+        matrix, _ = stack_system(medium_stack)
+        lower = ic0_factor(matrix)
+        original_lower = sp.tril(matrix)
+        assert lower.nnz == original_lower.nnz
+
+    def test_breakdown_raises(self):
+        a = sp.csr_matrix(
+            np.array([[1.0, 2.0], [2.0, 1.0]])  # indefinite
+        )
+        with pytest.raises(SingularSystemError):
+            ic0_factor(a)
+
+    def test_shift_rescues_borderline(self):
+        a = sp.csr_matrix(np.array([[1.0, 0.99], [0.99, 1.0]]))
+        lower = ic0_factor(a, shift=0.1)
+        assert lower.shape == (2, 2)
+
+    def test_missing_diagonal_raises(self):
+        a = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        a.eliminate_zeros()
+        with pytest.raises(SingularSystemError):
+            ic0_factor(a)
+
+
+class TestPreconditioners:
+    @pytest.fixture
+    def system(self, small_stack):
+        return stack_system(small_stack)
+
+    @pytest.mark.parametrize(
+        "name", ["none", "jacobi", "ssor", "ic0", "ilu"]
+    )
+    def test_all_accelerate_or_match(self, system, name):
+        matrix, rhs = system
+        m = make_preconditioner(name, matrix)
+        result = cg(matrix, rhs, m_inv=m.apply, tol=1e-10)
+        assert result.converged
+        expected = solve_direct(matrix, rhs)
+        assert np.max(np.abs(result.x - expected)) < 1e-6
+
+    def test_unknown_name(self, system):
+        with pytest.raises(ReproError):
+            make_preconditioner("amg", system[0])
+
+    def test_identity_passthrough(self, system):
+        m = IdentityPreconditioner()
+        r = np.arange(5.0)
+        assert np.array_equal(m.apply(r), r)
+
+    def test_jacobi_apply(self):
+        a = sp.diags([2.0, 4.0]).tocsr()
+        m = JacobiPreconditioner(a)
+        assert np.allclose(m.apply(np.array([2.0, 4.0])), [1.0, 1.0])
+
+    def test_jacobi_rejects_nonpositive_diagonal(self):
+        a = sp.diags([2.0, 0.0]).tocsr()
+        with pytest.raises(SingularSystemError):
+            JacobiPreconditioner(a)
+
+    def test_ssor_spd_apply(self, system):
+        """SSOR preconditioner must be SPD: z'r > 0 for r != 0."""
+        matrix, _ = system
+        m = SSORPreconditioner(matrix)
+        gen = np.random.default_rng(0)
+        for _ in range(5):
+            r = gen.standard_normal(matrix.shape[0])
+            assert r @ m.apply(r) > 0
+
+    def test_ssor_omega_bounds(self, system):
+        with pytest.raises(ReproError):
+            SSORPreconditioner(system[0], omega=2.5)
+
+    def test_ic0_preconditioner_strong(self, system):
+        matrix, rhs = system
+        ic0 = IC0Preconditioner(matrix)
+        jac = JacobiPreconditioner(matrix)
+        r_ic0 = cg(matrix, rhs, m_inv=ic0.apply, tol=1e-10)
+        r_jac = cg(matrix, rhs, m_inv=jac.apply, tol=1e-10)
+        assert r_ic0.iterations < r_jac.iterations
+
+    def test_memory_reported(self, system):
+        matrix, _ = system
+        for cls in (JacobiPreconditioner, SSORPreconditioner,
+                    IC0Preconditioner, ILUPreconditioner):
+            assert cls(matrix).memory_bytes > 0
+
+    def test_multigrid_needs_hierarchy(self, system):
+        with pytest.raises(ReproError):
+            make_preconditioner("multigrid", system[0])

@@ -1,0 +1,65 @@
+"""Tests for stopping criteria and iterative-result plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ReproError
+from repro.linalg.convergence import CRITERIA, IterativeResult, StoppingCriterion
+
+
+class TestStoppingCriterion:
+    def test_rel_residual(self):
+        b = np.array([3.0, 4.0])  # ||b|| = 5
+        stop = StoppingCriterion.for_system("rel_residual", 1e-2, b)
+        assert stop.check(residual_norm=0.04)
+        assert not stop.check(residual_norm=0.06)
+
+    def test_abs_residual(self):
+        stop = StoppingCriterion(kind="abs_residual", tol=1e-3)
+        assert stop.check(residual_norm=5e-4)
+        assert not stop.check(residual_norm=5e-3)
+
+    def test_max_dx(self):
+        stop = StoppingCriterion(kind="max_dx", tol=0.5e-3)
+        assert stop.check(max_dx=0.4e-3)
+        assert not stop.check(max_dx=0.6e-3)
+
+    def test_missing_quantity_is_not_converged(self):
+        rel = StoppingCriterion(kind="rel_residual", tol=1e-3)
+        assert not rel.check(max_dx=0.0)
+        dx = StoppingCriterion(kind="max_dx", tol=1e-3)
+        assert not dx.check(residual_norm=0.0)
+
+    def test_zero_norm_b_falls_back_to_one(self):
+        stop = StoppingCriterion.for_system("rel_residual", 1e-3, np.zeros(4))
+        assert stop.b_norm == 1.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError):
+            StoppingCriterion(kind="energy", tol=1e-3)
+
+    def test_bad_tol(self):
+        with pytest.raises(ReproError):
+            StoppingCriterion(tol=0.0)
+
+    def test_all_kinds_constructible(self):
+        for kind in CRITERIA:
+            StoppingCriterion(kind=kind, tol=1.0)
+
+
+class TestIterativeResult:
+    def test_raise_if_diverged(self):
+        bad = IterativeResult(
+            x=np.zeros(2), converged=False, iterations=7, residual_norm=1.0
+        )
+        with pytest.raises(ConvergenceError) as excinfo:
+            bad.raise_if_diverged()
+        assert excinfo.value.iterations == 7
+
+    def test_raise_if_diverged_passthrough(self):
+        good = IterativeResult(
+            x=np.zeros(2), converged=True, iterations=3, residual_norm=1e-12
+        )
+        assert good.raise_if_diverged() is good

@@ -1,0 +1,145 @@
+"""Tests for the geometric multigrid hierarchy, solver, preconditioner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.grid.conductance import stack_system
+from repro.grid.generators import synthesize_stack
+from repro.linalg.cg import cg
+from repro.linalg.direct import solve_direct
+from repro.linalg.multigrid import (
+    GridHierarchy,
+    MultigridPreconditioner,
+    MultigridSolver,
+    interpolation_1d,
+    plane_prolongation,
+)
+
+
+class TestInterpolation1D:
+    def test_odd_size(self):
+        p = interpolation_1d(5).toarray()
+        assert p.shape == (5, 3)
+        # Even fine points copy coarse points.
+        assert p[0, 0] == 1.0 and p[2, 1] == 1.0 and p[4, 2] == 1.0
+        # Odd fine points average neighbours.
+        assert p[1, 0] == 0.5 and p[1, 1] == 0.5
+
+    def test_even_size_boundary(self):
+        p = interpolation_1d(4).toarray()
+        assert p.shape == (4, 2)
+        # Last fine point has no right coarse neighbour: copies the left.
+        assert p[3, 1] == 1.0
+
+    def test_preserves_constants(self):
+        for n in (3, 4, 7, 8, 16, 17):
+            p = interpolation_1d(n)
+            ones = np.ones(p.shape[1])
+            assert np.allclose(p @ ones, 1.0)
+
+    def test_size_one(self):
+        p = interpolation_1d(1)
+        assert p.shape == (1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            interpolation_1d(0)
+
+
+class TestPlaneProlongation:
+    def test_shape(self):
+        p = plane_prolongation(6, 8)
+        assert p.shape == (48, 3 * 4)
+
+    def test_preserves_constants(self):
+        p = plane_prolongation(7, 6)
+        assert np.allclose(p @ np.ones(p.shape[1]), 1.0)
+
+
+class TestGridHierarchy:
+    def test_from_stack_levels(self, medium_stack):
+        h = GridHierarchy.from_stack(medium_stack)
+        assert h.n_levels >= 2
+        # Coarse operators shrink.
+        sizes = [level.a.shape[0] for level in h.levels]
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_galerkin_symmetry(self, medium_stack):
+        h = GridHierarchy.from_stack(medium_stack)
+        for level in h.levels:
+            assert abs(level.a - level.a.T).max() < 1e-12
+
+    def test_geometry_mismatch_rejected(self, medium_stack):
+        matrix, _ = stack_system(medium_stack)
+        with pytest.raises(ReproError):
+            GridHierarchy.from_matrix(matrix, 3, 10, 10)
+
+    def test_memory_positive(self, medium_stack):
+        h = GridHierarchy.from_stack(medium_stack)
+        assert h.memory_bytes > 0
+
+    def test_v_cycle_reduces_residual(self, medium_stack):
+        matrix, rhs = stack_system(medium_stack)
+        h = GridHierarchy.from_stack(medium_stack)
+        x = h.v_cycle(rhs)
+        assert np.linalg.norm(rhs - matrix @ x) < np.linalg.norm(rhs)
+
+
+class TestMultigridSolver:
+    def test_converges_to_direct(self, medium_stack):
+        matrix, rhs = stack_system(medium_stack)
+        expected = solve_direct(matrix, rhs)
+        solver = MultigridSolver(GridHierarchy.from_stack(medium_stack))
+        result = solver.solve(rhs, tol=1e-10, max_iter=100)
+        assert result.converged
+        assert np.max(np.abs(result.x - expected)) < 1e-6
+
+    def test_fast_convergence(self, medium_stack):
+        """Multigrid should converge in tens of cycles, not hundreds."""
+        _, rhs = stack_system(medium_stack)
+        solver = MultigridSolver(GridHierarchy.from_stack(medium_stack))
+        result = solver.solve(rhs, tol=1e-8)
+        assert result.converged
+        assert result.iterations < 60
+
+    def test_max_dx_criterion(self, medium_stack):
+        _, rhs = stack_system(medium_stack)
+        solver = MultigridSolver(GridHierarchy.from_stack(medium_stack))
+        result = solver.solve(rhs, tol=1e-8, criterion="max_dx")
+        assert result.converged
+
+
+class TestMultigridPreconditioner:
+    def test_accelerates_cg(self, medium_stack):
+        matrix, rhs = stack_system(medium_stack)
+        h = GridHierarchy.from_stack(medium_stack)
+        plain = cg(matrix, rhs, tol=1e-10)
+        preconditioned = cg(
+            matrix, rhs, m_inv=MultigridPreconditioner(h).apply, tol=1e-10
+        )
+        assert preconditioned.converged
+        assert preconditioned.iterations < plain.iterations
+
+    def test_result_matches_direct(self, medium_stack):
+        matrix, rhs = stack_system(medium_stack)
+        expected = solve_direct(matrix, rhs)
+        h = GridHierarchy.from_stack(medium_stack)
+        result = cg(matrix, rhs, m_inv=MultigridPreconditioner(h).apply,
+                    tol=1e-11)
+        assert np.max(np.abs(result.x - expected)) < 1e-6
+
+    def test_asymmetric_smoothing_rejected(self, medium_stack):
+        h = GridHierarchy.from_stack(medium_stack)
+        with pytest.raises(ReproError):
+            MultigridPreconditioner(h, pre_sweeps=2, post_sweeps=1)
+
+    def test_works_on_pin_subset(self):
+        stack = synthesize_stack(16, 16, 3, pin_fraction=0.25, rng=0)
+        matrix, rhs = stack_system(stack)
+        h = GridHierarchy.from_stack(stack)
+        result = cg(matrix, rhs, m_inv=MultigridPreconditioner(h).apply,
+                    tol=1e-10)
+        assert result.converged

@@ -1,0 +1,142 @@
+"""Tests for the random-walk solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError, ReproError
+from repro.grid.conductance import stack_system
+from repro.grid.generators import synthesize_stack
+from repro.grid.grid2d import Grid2D
+from repro.grid.pads import place_pads
+from repro.linalg.direct import solve_direct
+from repro.linalg.random_walk import RandomWalkSolver, WalkModel
+
+
+def two_node_model():
+    """node0 --1ohm-- node1, node1 --rail(1ohm)-- 1V, 0.5A load at node0."""
+    return WalkModel(
+        n=2,
+        edge_u=np.array([0]),
+        edge_v=np.array([1]),
+        edge_g=np.array([1.0]),
+        g_rail=np.array([0.0, 1.0]),
+        v_rail=np.array([0.0, 1.0]),
+        loads=np.array([0.5, 0.0]),
+    )
+
+
+class TestWalkModel:
+    def test_transition_probabilities_sum_to_one(self, small_stack):
+        model = WalkModel.from_stack(small_stack)
+        if model.cum_prob.shape[1]:
+            total = model.cum_prob[:, -1] + model.p_absorb
+            assert np.allclose(total, 1.0)
+
+    def test_no_rail_rejected(self):
+        with pytest.raises(GridError):
+            WalkModel(
+                n=2,
+                edge_u=np.array([0]),
+                edge_v=np.array([1]),
+                edge_g=np.array([1.0]),
+                g_rail=np.zeros(2),
+                v_rail=np.zeros(2),
+                loads=np.zeros(2),
+            )
+
+    def test_isolated_node_rejected(self):
+        with pytest.raises(GridError):
+            WalkModel(
+                n=2,
+                edge_u=np.array([], dtype=int),
+                edge_v=np.array([], dtype=int),
+                edge_g=np.array([]),
+                g_rail=np.array([1.0, 0.0]),
+                v_rail=np.array([1.0, 0.0]),
+                loads=np.zeros(2),
+            )
+
+    def test_award_sign(self):
+        model = two_node_model()
+        # Node 0: load 0.5 A, total conductance 1.0 -> award -0.5 V.
+        assert model.award[0] == pytest.approx(-0.5)
+
+    def test_from_grid2d(self, tiny_grid):
+        model = WalkModel.from_grid2d(tiny_grid)
+        assert model.n == tiny_grid.n_nodes
+        assert np.any(model.p_absorb > 0)
+
+
+class TestRandomWalkSolver:
+    def test_two_node_exact_expectation(self):
+        """V(node0) = 1 - 0.5*2 = 0 exactly; V(node1) = 1 - 0.5 = 0.5.
+
+        With deterministic expected awards the MC mean converges there.
+        """
+        model = two_node_model()
+        solver = RandomWalkSolver(model, rng=0)
+        estimate = solver.estimate_nodes([0, 1], n_walks=4000)
+        assert estimate.voltages[0] == pytest.approx(0.0, abs=0.05)
+        assert estimate.voltages[1] == pytest.approx(0.5, abs=0.05)
+
+    def test_matches_direct_on_small_grid(self, tiny_grid):
+        matrix, rhs = __import__(
+            "repro.grid.conductance", fromlist=["grid2d_matrix"]
+        ).grid2d_matrix(tiny_grid)
+        expected = solve_direct(matrix, rhs)
+        model = WalkModel.from_grid2d(tiny_grid)
+        solver = RandomWalkSolver(model, rng=1)
+        nodes = np.array([0, 7, 12])
+        estimate = solver.estimate_nodes(nodes, n_walks=3000)
+        assert np.max(np.abs(estimate.voltages - expected[nodes])) < 5e-3
+
+    def test_matches_direct_on_stack(self, small_stack):
+        matrix, rhs = stack_system(small_stack)
+        expected = solve_direct(matrix, rhs)
+        model = WalkModel.from_stack(small_stack)
+        solver = RandomWalkSolver(model, rng=2)
+        nodes = np.array([0, 100])
+        estimate = solver.estimate_nodes(nodes, n_walks=2500)
+        assert np.max(np.abs(estimate.voltages - expected[nodes])) < 1e-3
+
+    def test_all_walks_absorbed(self, small_stack):
+        model = WalkModel.from_stack(small_stack)
+        solver = RandomWalkSolver(model, rng=3)
+        estimate = solver.estimate_nodes([0], n_walks=200)
+        assert estimate.absorbed_fraction == 1.0
+
+    def test_walk_lengths_grow_with_low_tsv_resistance(self):
+        """E7's mechanism: with a single corner pin, shrinking the
+        inter-tier TSV resistance traps walkers in vertical ping-pong and
+        inflates walk lengths (paper §I)."""
+        lengths = {}
+        for r_tsv in (5.0, 0.005):
+            stack = synthesize_stack(10, 10, 3, rng=0)
+            stack.pillars.has_pin[:] = False
+            stack.pillars.has_pin[0] = True
+            stack.pillars.r_seg[:-1, :] = r_tsv
+            stack.pillars.r_seg[-1, :] = 0.05
+            model = WalkModel.from_stack(stack)
+            solver = RandomWalkSolver(model, rng=0)
+            estimate = solver.estimate_nodes([99], n_walks=60,
+                                             max_steps=500_000)
+            lengths[r_tsv] = estimate.mean_length
+        assert lengths[0.005] > 3.0 * lengths[5.0]
+
+    def test_input_validation(self, small_stack):
+        model = WalkModel.from_stack(small_stack)
+        solver = RandomWalkSolver(model)
+        with pytest.raises(ReproError):
+            solver.estimate_nodes([], n_walks=10)
+        with pytest.raises(ReproError):
+            solver.estimate_nodes([0], n_walks=0)
+        with pytest.raises(ReproError):
+            solver.estimate_nodes([model.n], n_walks=10)
+
+    def test_max_steps_truncation_reported(self, small_stack):
+        model = WalkModel.from_stack(small_stack)
+        solver = RandomWalkSolver(model, rng=4)
+        estimate = solver.estimate_nodes([0], n_walks=50, max_steps=1)
+        assert estimate.absorbed_fraction < 1.0

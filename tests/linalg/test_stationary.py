@@ -1,0 +1,145 @@
+"""Tests for Jacobi / Gauss-Seidel / SOR / SSOR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ReproError, SingularSystemError
+from repro.grid.conductance import stack_system
+from repro.linalg.direct import solve_direct
+from repro.linalg.stationary import gauss_seidel, jacobi, sor, ssor_sweep
+
+
+def small_spd_system(rng, n=30):
+    """Random diagonally dominant sparse SPD system."""
+    density = 0.1
+    a = sp.random(n, n, density=density, random_state=rng.integers(2**31))
+    a = a + a.T
+    a = a + sp.diags(np.abs(a).sum(axis=1).A1 + 1.0)
+    b = rng.standard_normal(n)
+    return sp.csr_matrix(a), b
+
+
+class TestJacobi:
+    def test_converges_to_direct(self, rng):
+        a, b = small_spd_system(rng)
+        expected = solve_direct(a, b)
+        result = jacobi(a, b, tol=1e-12, max_iter=20_000)
+        assert result.converged
+        assert np.allclose(result.x, expected, atol=1e-8)
+
+    def test_damping_slows_but_converges(self, small_stack):
+        """On the M-matrix grid system undamped Jacobi converges and
+        omega = 0.5 damping roughly doubles the iteration count."""
+        a, b = stack_system(small_stack)
+        fast = jacobi(a, b, tol=1e-8, max_iter=50_000)
+        slow = jacobi(a, b, omega=0.5, tol=1e-8, max_iter=50_000)
+        assert fast.converged and slow.converged
+        assert slow.iterations > fast.iterations
+
+    def test_zero_diagonal_rejected(self):
+        a = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        with pytest.raises(SingularSystemError):
+            jacobi(a, np.ones(2))
+
+    def test_history_recorded(self, rng):
+        a, b = small_spd_system(rng)
+        result = jacobi(a, b, tol=1e-10, record_history=True)
+        assert len(result.history) == result.iterations
+        assert result.history[-1] <= result.history[0]
+
+    def test_max_dx_criterion(self, rng):
+        a, b = small_spd_system(rng)
+        result = jacobi(a, b, tol=1e-9, criterion="max_dx")
+        assert result.converged
+        assert result.criterion == "max_dx"
+
+    def test_nonconvergence_flagged(self, rng):
+        a, b = small_spd_system(rng)
+        result = jacobi(a, b, tol=1e-14, max_iter=2)
+        assert not result.converged
+        with pytest.raises(Exception):
+            result.raise_if_diverged()
+
+    def test_shape_checks(self, rng):
+        a, b = small_spd_system(rng)
+        with pytest.raises(ReproError):
+            jacobi(a, b[:-1])
+
+
+class TestGaussSeidel:
+    def test_converges_to_direct(self, rng):
+        a, b = small_spd_system(rng)
+        expected = solve_direct(a, b)
+        result = gauss_seidel(a, b, tol=1e-12, max_iter=10_000)
+        assert result.converged
+        assert np.allclose(result.x, expected, atol=1e-8)
+
+    def test_faster_than_jacobi(self, rng):
+        a, b = small_spd_system(rng)
+        gs = gauss_seidel(a, b, tol=1e-10, max_iter=20_000)
+        ja = jacobi(a, b, tol=1e-10, max_iter=20_000)
+        assert gs.iterations <= ja.iterations
+
+    def test_warm_start_helps(self, rng):
+        a, b = small_spd_system(rng)
+        expected = solve_direct(a, b)
+        cold = gauss_seidel(a, b, tol=1e-10)
+        warm = gauss_seidel(a, b, x0=expected, tol=1e-10)
+        assert warm.iterations <= cold.iterations
+
+    def test_on_power_grid(self, small_stack):
+        matrix, rhs = stack_system(small_stack)
+        expected = solve_direct(matrix, rhs)
+        result = gauss_seidel(matrix, rhs, tol=1e-10, max_iter=20_000)
+        assert result.converged
+        assert np.max(np.abs(result.x - expected)) < 1e-6
+
+
+class TestSOR:
+    def test_converges_to_direct(self, rng):
+        a, b = small_spd_system(rng)
+        expected = solve_direct(a, b)
+        result = sor(a, b, omega=1.3, tol=1e-12, max_iter=10_000)
+        assert result.converged
+        assert np.allclose(result.x, expected, atol=1e-8)
+
+    def test_omega_one_equals_gs(self, rng):
+        a, b = small_spd_system(rng)
+        s = sor(a, b, omega=1.0 + 1e-12, tol=1e-10)
+        g = gauss_seidel(a, b, tol=1e-10)
+        assert abs(s.iterations - g.iterations) <= 1
+
+    def test_omega_bounds(self, rng):
+        a, b = small_spd_system(rng)
+        with pytest.raises(ReproError):
+            sor(a, b, omega=2.0)
+        with pytest.raises(ReproError):
+            sor(a, b, omega=0.0)
+
+    def test_overrelaxation_accelerates_grid(self, medium_stack):
+        """On the 3-D grid system SOR with omega > 1 beats plain GS
+        (the paper cites the O(N^2) -> O(N) improvement)."""
+        matrix, rhs = stack_system(medium_stack)
+        gs = gauss_seidel(matrix, rhs, tol=1e-8, max_iter=30_000)
+        accelerated = sor(matrix, rhs, omega=1.6, tol=1e-8, max_iter=30_000)
+        assert accelerated.converged
+        assert accelerated.iterations < gs.iterations
+
+
+class TestSSORSweep:
+    def test_reduces_residual(self, rng):
+        a, b = small_spd_system(rng)
+        x = np.zeros_like(b)
+        r0 = np.linalg.norm(b - a @ x)
+        x = ssor_sweep(a, b, x)
+        r1 = np.linalg.norm(b - a @ x)
+        assert r1 < r0
+
+    def test_fixed_point_is_solution(self, rng):
+        a, b = small_spd_system(rng)
+        expected = solve_direct(a, b)
+        moved = ssor_sweep(a, b, expected.copy())
+        assert np.allclose(moved, expected, atol=1e-10)

@@ -1,0 +1,150 @@
+"""Tests for Thomas / banded tridiagonal solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError, SingularSystemError
+from repro.linalg.tridiagonal import (
+    TridiagonalCholesky,
+    solve_tridiagonal,
+    thomas_operation_count,
+    thomas_solve,
+)
+
+
+def random_spd_tridiag(n, rng):
+    """Diagonally dominant SPD tridiagonal system."""
+    off = -rng.uniform(0.2, 1.0, size=n - 1)
+    diag = rng.uniform(0.5, 1.5, size=n)
+    diag[:-1] += np.abs(off)
+    diag[1:] += np.abs(off)
+    return diag, off
+
+
+class TestOperationCount:
+    def test_paper_quote(self):
+        """The paper quotes 5N-4 multiplications and 3(N-1) additions."""
+        mults, adds = thomas_operation_count(100)
+        assert mults == 496
+        assert adds == 297
+
+    def test_minimum_row(self):
+        assert thomas_operation_count(1) == (1, 0)
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            thomas_operation_count(0)
+
+
+class TestThomasSolve:
+    def test_known_2x2(self):
+        # [[2, -1], [-1, 2]] x = [1, 1] -> x = [1, 1]
+        x = thomas_solve(np.array([-1.0]), np.array([2.0, 2.0]),
+                         np.array([-1.0]), np.array([1.0, 1.0]))
+        assert np.allclose(x, [1.0, 1.0])
+
+    def test_single_unknown(self):
+        x = thomas_solve(np.array([]), np.array([4.0]), np.array([]),
+                         np.array([2.0]))
+        assert x[0] == pytest.approx(0.5)
+
+    def test_vs_dense_solver(self, rng):
+        n = 40
+        diag, off = random_spd_tridiag(n, rng)
+        b = rng.standard_normal(n)
+        dense = np.diag(diag) + np.diag(off, 1) + np.diag(off, -1)
+        expected = np.linalg.solve(dense, b)
+        assert np.allclose(thomas_solve(off, diag, off, b), expected)
+
+    def test_asymmetric_system(self, rng):
+        n = 20
+        diag = rng.uniform(3, 4, n)
+        lower = rng.uniform(-1, 1, n - 1)
+        upper = rng.uniform(-1, 1, n - 1)
+        b = rng.standard_normal(n)
+        dense = np.diag(diag) + np.diag(upper, 1) + np.diag(lower, -1)
+        expected = np.linalg.solve(dense, b)
+        assert np.allclose(thomas_solve(lower, diag, upper, b), expected)
+
+    def test_zero_pivot_raises(self):
+        with pytest.raises(SingularSystemError):
+            thomas_solve(np.array([1.0]), np.array([0.0, 1.0]),
+                         np.array([1.0]), np.array([1.0, 1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            thomas_solve(np.array([1.0]), np.array([1.0, 1.0, 1.0]),
+                         np.array([1.0]), np.array([1.0, 1.0, 1.0]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(2, 60), seed=st.integers(0, 2**31 - 1))
+    def test_property_vs_lapack(self, n, seed):
+        """Thomas and the LAPACK banded path agree on random SPD systems."""
+        gen = np.random.default_rng(seed)
+        diag, off = random_spd_tridiag(n, gen)
+        b = gen.standard_normal(n)
+        a = solve_tridiagonal(off, diag, off, b)
+        t = thomas_solve(off, diag, off, b)
+        assert np.allclose(a, t, atol=1e-10)
+
+
+class TestSolveTridiagonal:
+    def test_matrix_rhs(self, rng):
+        n, k = 30, 7
+        diag, off = random_spd_tridiag(n, rng)
+        b = rng.standard_normal((n, k))
+        x = solve_tridiagonal(off, diag, off, b)
+        assert x.shape == (n, k)
+        for col in range(k):
+            assert np.allclose(
+                x[:, col], thomas_solve(off, diag, off, b[:, col])
+            )
+
+    def test_single_element(self):
+        x = solve_tridiagonal(np.array([]), np.array([2.0]), np.array([]),
+                              np.array([6.0]))
+        assert np.allclose(x, [3.0])
+
+
+class TestTridiagonalCholesky:
+    def test_solve_matches_thomas(self, rng):
+        n = 25
+        diag, off = random_spd_tridiag(n, rng)
+        b = rng.standard_normal(n)
+        factor = TridiagonalCholesky(diag, off)
+        assert np.allclose(factor.solve(b), thomas_solve(off, diag, off, b))
+
+    def test_multi_rhs(self, rng):
+        n, k = 25, 4
+        diag, off = random_spd_tridiag(n, rng)
+        b = rng.standard_normal((n, k))
+        factor = TridiagonalCholesky(diag, off)
+        x = factor.solve(b)
+        assert x.shape == (n, k)
+        dense = np.diag(diag) + np.diag(off, 1) + np.diag(off, -1)
+        assert np.allclose(dense @ x, b)
+
+    def test_indefinite_rejected(self):
+        with pytest.raises(SingularSystemError):
+            TridiagonalCholesky(np.array([1.0, -5.0]), np.array([0.1]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            TridiagonalCholesky(np.array([1.0, 2.0]), np.array([0.1, 0.1]))
+
+    def test_matches_signature(self, rng):
+        diag, off = random_spd_tridiag(10, rng)
+        factor = TridiagonalCholesky(diag, off)
+        assert factor.matches(diag, off)
+        assert not factor.matches(diag + 1.0, off)
+
+    def test_memory_positive(self, rng):
+        diag, off = random_spd_tridiag(10, rng)
+        assert TridiagonalCholesky(diag, off).memory_bytes > 0
+
+    def test_size_one(self):
+        factor = TridiagonalCholesky(np.array([4.0]), np.array([]))
+        assert np.allclose(factor.solve(np.array([8.0])), [2.0])

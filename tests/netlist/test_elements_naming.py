@@ -1,0 +1,100 @@
+"""Tests for netlist element types and node naming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.elements import (
+    CurrentSource,
+    Netlist,
+    Resistor,
+    VoltageSource,
+)
+from repro.netlist.naming import (
+    GROUND,
+    grid_node_name,
+    is_grid_node_name,
+    parse_grid_node_name,
+    pin_node_name,
+)
+
+
+class TestElements:
+    def test_resistor_fields(self):
+        r = Resistor("R1", "a", "b", 2.5)
+        assert (r.name, r.n1, r.n2, r.resistance) == ("R1", "a", "b", 2.5)
+
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", -1.0)
+
+    def test_zero_resistance_allowed(self):
+        # 0-ohm shorts are legal in contest decks (merged later).
+        assert Resistor("R1", "a", "b", 0.0).resistance == 0.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "a", 1.0)
+        with pytest.raises(NetlistError):
+            CurrentSource("I1", "x", "x", 1.0)
+        with pytest.raises(NetlistError):
+            VoltageSource("V1", "x", "x", 1.0)
+
+    def test_negative_current_allowed(self):
+        assert CurrentSource("I1", "a", "0", -0.5).current == -0.5
+
+
+class TestNetlist:
+    def test_add_and_stats(self):
+        netlist = Netlist()
+        netlist.add(Resistor("R1", "a", "b", 1.0))
+        netlist.add(CurrentSource("I1", "b", "0", 0.1))
+        netlist.add(VoltageSource("V1", "a", "0", 1.8))
+        stats = netlist.stats()
+        assert stats == {
+            "nodes": 3, "resistors": 1,
+            "current_sources": 1, "voltage_sources": 1,
+            "capacitors": 0,
+        }
+
+    def test_duplicate_name_within_kind_rejected(self):
+        netlist = Netlist()
+        netlist.add(Resistor("R1", "a", "b", 1.0))
+        with pytest.raises(NetlistError):
+            netlist.add(Resistor("R1", "b", "c", 2.0))
+
+    def test_same_name_across_kinds_allowed(self):
+        netlist = Netlist()
+        netlist.add(Resistor("X1", "a", "b", 1.0))
+        netlist.add(CurrentSource("X1", "a", "0", 1.0))
+        assert netlist.n_elements == 2
+
+    def test_nodes_include_ground(self):
+        netlist = Netlist()
+        netlist.add(Resistor("R1", "a", GROUND, 1.0))
+        assert GROUND in netlist.nodes()
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist().add("not-an-element")  # type: ignore[arg-type]
+
+
+class TestNaming:
+    def test_grid_node_roundtrip(self):
+        name = grid_node_name(2, 13, 7)
+        assert name == "n2_13_7"
+        assert parse_grid_node_name(name) == (2, 13, 7)
+
+    def test_pin_name(self):
+        assert pin_node_name(4) == "P4"
+
+    def test_is_grid_node(self):
+        assert is_grid_node_name("n0_0_0")
+        assert not is_grid_node_name("P3")
+        assert not is_grid_node_name("n0_0")
+        assert not is_grid_node_name("0")
+
+    def test_parse_rejects_non_grid(self):
+        with pytest.raises(NetlistError):
+            parse_grid_node_name("pad0_1_2")

@@ -1,0 +1,164 @@
+"""Tests for the SPICE-subset parser and writer (round-trip included)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistSyntaxError
+from repro.netlist.elements import CurrentSource, Netlist, Resistor, VoltageSource
+from repro.netlist.parser import parse_netlist, read_netlist
+from repro.netlist.writer import format_netlist, stack_to_netlist, write_netlist
+
+
+DECK = """
+* an IBM-style deck
+.title tiny
+R1 a b 0.5
+R2 b 0 2
+V1 a 0 1.8
+I1 b 0 50m
+.op
+.end
+"""
+
+
+class TestParser:
+    def test_basic_deck(self):
+        netlist = parse_netlist(DECK)
+        assert netlist.title == "tiny"
+        assert len(netlist.resistors) == 2
+        assert netlist.resistors[0].resistance == 0.5
+        assert netlist.current_sources[0].current == pytest.approx(0.05)
+        assert netlist.voltage_sources[0].voltage == 1.8
+
+    def test_comments_and_blanks_skipped(self):
+        netlist = parse_netlist("* only a comment\n\n\n* another\n")
+        assert netlist.n_elements == 0
+
+    def test_si_suffixes(self):
+        netlist = parse_netlist("R1 a b 1meg\nR2 b c 2k\nI1 c 0 3u\n")
+        assert netlist.resistors[0].resistance == pytest.approx(1e6)
+        assert netlist.resistors[1].resistance == pytest.approx(2e3)
+        assert netlist.current_sources[0].current == pytest.approx(3e-6)
+
+    def test_case_insensitive_element_letter(self):
+        netlist = parse_netlist("r1 a b 1\nv1 a 0 1\ni1 b 0 1m\n")
+        assert netlist.n_elements == 3
+
+    def test_statement_after_end_rejected(self):
+        with pytest.raises(NetlistSyntaxError) as excinfo:
+            parse_netlist(".end\nR1 a b 1\n")
+        assert excinfo.value.line_no == 2
+
+    def test_wrong_field_count(self):
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist("R1 a b\n")
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist("R1 a b 1 extra\n")
+
+    def test_bad_value(self):
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist("R1 a b five\n")
+
+    def test_unknown_element_kind(self):
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist("L1 a b 1n\n")  # inductors not in the subset
+
+    def test_capacitor_parsed(self):
+        netlist = parse_netlist("C1 a 0 10n\nR1 a 0 1\n")
+        assert netlist.capacitors[0].capacitance == pytest.approx(1e-8)
+
+    def test_unknown_directive(self):
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist(".tran 1n 10n\n")
+
+    def test_duplicate_name_reported_with_line(self):
+        with pytest.raises(NetlistSyntaxError) as excinfo:
+            parse_netlist("R1 a b 1\nR1 b c 1\n")
+        assert excinfo.value.line_no == 2
+
+    def test_negative_resistance_syntax_error(self):
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist("R1 a b -5\n")
+
+
+class TestWriter:
+    def test_roundtrip(self):
+        original = parse_netlist(DECK)
+        again = parse_netlist(format_netlist(original))
+        assert again.stats() == original.stats()
+        assert again.resistors == original.resistors
+        assert again.current_sources == original.current_sources
+        assert again.voltage_sources == original.voltage_sources
+
+    def test_file_roundtrip(self, tmp_path):
+        original = parse_netlist(DECK)
+        path = tmp_path / "deck.sp"
+        write_netlist(original, path)
+        again = read_netlist(path)
+        assert again.stats() == original.stats()
+
+    def test_ends_with_end(self):
+        text = format_netlist(Netlist(resistors=[Resistor("R1", "a", "0", 1.0)]))
+        assert text.rstrip().endswith(".end")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_r=st.integers(1, 8),
+        n_i=st.integers(0, 5),
+        seed=st.integers(0, 10_000),
+    )
+    def test_roundtrip_property(self, n_r, n_i, seed):
+        """Randomly generated decks survive write -> parse unchanged."""
+        gen = np.random.default_rng(seed)
+        netlist = Netlist(title="prop")
+        nodes = [f"n{k}" for k in range(n_r + 2)] + ["0"]
+        for k in range(n_r):
+            a, b = gen.choice(len(nodes), size=2, replace=False)
+            netlist.add(
+                Resistor(f"R{k}", nodes[a], nodes[b],
+                         float(gen.uniform(0.01, 100)))
+            )
+        for k in range(n_i):
+            a, b = gen.choice(len(nodes), size=2, replace=False)
+            netlist.add(
+                CurrentSource(f"I{k}", nodes[a], nodes[b],
+                              float(gen.uniform(-1, 1)))
+            )
+        netlist.add(VoltageSource("V0", nodes[0], "0", 1.8))
+        again = parse_netlist(format_netlist(netlist))
+        assert again.resistors == netlist.resistors
+        assert again.current_sources == netlist.current_sources
+        assert again.voltage_sources == netlist.voltage_sources
+
+
+class TestStackToNetlist:
+    def test_element_counts(self, small_stack):
+        netlist = stack_to_netlist(small_stack)
+        rows = cols = 8
+        tiers = 3
+        wire_count = tiers * (rows * (cols - 1) + (rows - 1) * cols)
+        pillars = small_stack.pillars.count
+        tsv_count = pillars * (tiers - 1)
+        pin_r = pillars  # all pinned
+        assert len(netlist.resistors) == wire_count + tsv_count + pin_r
+        assert len(netlist.voltage_sources) == pillars
+        # One current source per loaded (non-TSV) node per tier.
+        loaded = sum(
+            int(np.count_nonzero(t.loads)) for t in small_stack.tiers
+        )
+        assert len(netlist.current_sources) == loaded
+
+    def test_pin_subset_fewer_sources(self, pinsubset_stack):
+        netlist = stack_to_netlist(pinsubset_stack)
+        assert (
+            len(netlist.voltage_sources)
+            == pinsubset_stack.pillars.pin_count
+        )
+
+    def test_parse_roundtrip(self, small_stack):
+        netlist = stack_to_netlist(small_stack)
+        again = parse_netlist(format_netlist(netlist))
+        assert again.stats() == netlist.stats()

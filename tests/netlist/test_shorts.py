@@ -1,0 +1,78 @@
+"""Tests for 0-ohm short merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.elements import CurrentSource, Netlist, Resistor, VoltageSource
+from repro.netlist.parser import parse_netlist
+from repro.netlist.shorts import UnionFind, merge_shorts
+
+
+class TestUnionFind:
+    def test_separate_singletons(self):
+        uf = UnionFind()
+        assert uf.find("a") == "a"
+        assert uf.find("b") == "b"
+
+    def test_union_links(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.find("a") == uf.find("b")
+
+    def test_ground_wins(self):
+        uf = UnionFind()
+        uf.union("a", "0")
+        assert uf.find("a") == "0"
+        uf2 = UnionFind()
+        uf2.union("0", "a")
+        assert uf2.find("a") == "0"
+
+    def test_long_chain_no_recursion_error(self):
+        uf = UnionFind()
+        for k in range(5000):
+            uf.union(f"n{k}", f"n{k + 1}")
+        assert uf.find("n0") == uf.find("n5000")
+
+
+class TestMergeShorts:
+    def test_basic_merge(self):
+        deck = parse_netlist("R1 a b 0\nR2 b c 1\nV1 a 0 1\nI1 c 0 1m\n")
+        merged, aliases = merge_shorts(deck)
+        assert len(merged.resistors) == 1
+        assert aliases["b"] == aliases["a"]
+
+    def test_chain_of_shorts(self):
+        deck = parse_netlist(
+            "R1 a b 0\nR2 b c 0\nR3 c d 0\nR4 d e 1\nV1 a 0 1\n"
+        )
+        merged, aliases = merge_shorts(deck)
+        assert len({aliases[n] for n in "abcd"}) == 1
+        assert len(merged.resistors) == 1
+
+    def test_resistor_shorted_end_to_end_dropped(self):
+        deck = parse_netlist("R1 a b 0\nR2 a b 5\nV1 a 0 1\n")
+        merged, _ = merge_shorts(deck)
+        assert len(merged.resistors) == 0
+
+    def test_current_source_inside_merge_dropped(self):
+        deck = parse_netlist("R1 a b 0\nI1 a b 1m\nV1 a 0 1\n")
+        merged, _ = merge_shorts(deck)
+        assert len(merged.current_sources) == 0
+
+    def test_nonzero_vsource_across_short_rejected(self):
+        deck = parse_netlist("R1 a b 0\nV1 a b 1\n")
+        with pytest.raises(NetlistError):
+            merge_shorts(deck)
+
+    def test_zero_vsource_across_short_dropped(self):
+        deck = parse_netlist("R1 a b 0\nV1 a b 0\nV2 a 0 1\n")
+        merged, _ = merge_shorts(deck)
+        assert len(merged.voltage_sources) == 1
+
+    def test_short_to_ground(self):
+        deck = parse_netlist("R1 a 0 0\nR2 a b 1\nI1 b 0 1m\n")
+        merged, aliases = merge_shorts(deck)
+        assert aliases["a"] == "0"
+        assert merged.resistors[0].n1 in ("0", "b")

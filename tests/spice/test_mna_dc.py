@@ -1,0 +1,128 @@
+"""Tests for the MNA stamping and DC operating-point engine.
+
+Hand-computed reference circuits plus consistency with the assembled
+stack system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.grid.conductance import stack_system
+from repro.linalg.direct import solve_direct
+from repro.netlist.parser import parse_netlist
+from repro.spice.dc import dc_operating_point, solve_stack_spice
+from repro.spice.mna import build_mna
+
+
+class TestMNAHandCircuits:
+    def test_voltage_divider(self):
+        """1.8 V across two 1-ohm resistors: midpoint at 0.9 V."""
+        deck = parse_netlist("V1 top 0 1.8\nR1 top mid 1\nR2 mid 0 1\n")
+        solution = dc_operating_point(deck)
+        assert solution.voltages["mid"] == pytest.approx(0.9)
+        assert solution.voltages["top"] == pytest.approx(1.8)
+
+    def test_branch_current_direction(self):
+        """Divider draws 0.9 A; the source branch current (+ -> -) is
+        negative by the MNA convention (current flows out of +)."""
+        deck = parse_netlist("V1 top 0 1.8\nR1 top mid 1\nR2 mid 0 1\n")
+        solution = dc_operating_point(deck)
+        assert solution.branch_currents["V1"] == pytest.approx(-0.9)
+
+    def test_current_source_drop(self):
+        """1 A through 2 ohm to ground: node at -2 V (current leaves n1)."""
+        deck = parse_netlist("I1 a 0 1\nR1 a 0 2\n")
+        solution = dc_operating_point(deck)
+        assert solution.voltages["a"] == pytest.approx(-2.0)
+
+    def test_superposition(self):
+        deck_a = parse_netlist("V1 a 0 1\nR1 a b 1\nR2 b 0 1\n")
+        deck_b = parse_netlist("V1 a 0 2\nR1 a b 1\nR2 b 0 1\n")
+        va = dc_operating_point(deck_a).voltages["b"]
+        vb = dc_operating_point(deck_b).voltages["b"]
+        assert vb == pytest.approx(2 * va)
+
+    def test_floating_vsource_between_nodes(self):
+        """V2 enforces v(c) - v(b) = 0.5 on a loaded ladder."""
+        deck = parse_netlist(
+            "V1 a 0 1\nR1 a b 1\nV2 c b 0.5\nR2 c 0 1\n"
+        )
+        solution = dc_operating_point(deck)
+        assert solution.voltages["c"] - solution.voltages["b"] == pytest.approx(0.5)
+
+    def test_wheatstone_balanced(self):
+        """Balanced bridge: no voltage across the galvanometer arm."""
+        deck = parse_netlist(
+            "V1 top 0 1\n"
+            "R1 top l 1\nR2 top r 1\n"
+            "R3 l 0 1\nR4 r 0 1\n"
+            "R5 l r 7\n"
+        )
+        solution = dc_operating_point(deck)
+        assert solution.voltages["l"] == pytest.approx(solution.voltages["r"])
+
+    def test_shorts_merged_transparently(self):
+        deck = parse_netlist(
+            "V1 a 0 1\nR1 a b 0\nR2 b c 1\nR3 c 0 1\n"
+        )
+        solution = dc_operating_point(deck)
+        assert solution.voltages["b"] == pytest.approx(1.0)
+        assert solution.voltages["c"] == pytest.approx(0.5)
+
+    def test_empty_deck_rejected(self):
+        with pytest.raises(NetlistError):
+            build_mna(parse_netlist("* nothing\n"))
+
+
+class TestMNASystemShape:
+    def test_dimensions(self):
+        deck = parse_netlist("V1 a 0 1\nR1 a b 1\nR2 b 0 1\n")
+        mna = build_mna(deck)
+        assert mna.n_nodes == 2
+        assert mna.n_vsources == 1
+        assert mna.matrix.shape == (3, 3)
+
+    def test_voltage_of_unknown_node(self):
+        deck = parse_netlist("V1 a 0 1\nR1 a b 1\nR2 b 0 1\n")
+        mna = build_mna(deck)
+        x = solve_direct(mna.matrix, mna.rhs)
+        with pytest.raises(NetlistError):
+            mna.voltage_of(x, "zz")
+
+    def test_ground_voltage_zero(self):
+        deck = parse_netlist("V1 a 0 1\nR1 a 0 1\n")
+        mna = build_mna(deck)
+        x = solve_direct(mna.matrix, mna.rhs)
+        assert mna.voltage_of(x, "0") == 0.0
+
+
+class TestStackSpice:
+    def test_matches_assembled_system(self, small_stack):
+        voltages, solution = solve_stack_spice(small_stack)
+        matrix, rhs = stack_system(small_stack)
+        expected = solve_direct(matrix, rhs).reshape(voltages.shape)
+        assert np.max(np.abs(voltages - expected)) < 1e-10
+
+    def test_pin_currents_sum_to_total_load(self, small_stack):
+        _, solution = solve_stack_spice(small_stack)
+        pin_current = sum(
+            current for name, current in solution.branch_currents.items()
+            if name.startswith("Vpin")
+        )
+        # Sources deliver the total load (sign: current out of + terminal).
+        assert -pin_current == pytest.approx(small_stack.total_load())
+
+    def test_pin_subset_stack(self, pinsubset_stack):
+        voltages, _ = solve_stack_spice(pinsubset_stack)
+        matrix, rhs = stack_system(pinsubset_stack)
+        expected = solve_direct(matrix, rhs).reshape(voltages.shape)
+        assert np.max(np.abs(voltages - expected)) < 1e-10
+
+    def test_reports_costs(self, small_stack):
+        _, solution = solve_stack_spice(small_stack)
+        assert solution.factor_nnz > 0
+        assert solution.memory_bytes > 0
+        assert solution.solve_seconds >= 0

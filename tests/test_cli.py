@@ -1,0 +1,103 @@
+"""End-to-end CLI tests (in-process via ``repro.cli.main``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.io.solution import read_solution
+from repro.netlist.parser import read_netlist
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestGenerate:
+    def test_writes_parseable_netlist(self, tmp_path, capsys):
+        path = tmp_path / "grid.sp"
+        assert run_cli(
+            "generate", "--side", "8", "--tiers", "2", "-o", str(path)
+        ) == 0
+        netlist = read_netlist(path)
+        assert netlist.stats()["nodes"] > 100
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestSolve:
+    def test_vp_solve_writes_solution(self, tmp_path, capsys):
+        out = tmp_path / "vp.solution"
+        assert run_cli(
+            "solve", "--side", "10", "--method", "vp", "-o", str(out)
+        ) == 0
+        solution = read_solution(out)
+        assert len(solution) == 10 * 10 * 3
+        assert "IR drop" in capsys.readouterr().out
+
+    def test_pcg_solve(self, capsys):
+        assert run_cli("solve", "--side", "8", "--method", "pcg") == 0
+        assert "PCG[jacobi]" in capsys.readouterr().out
+
+    def test_spice_solve(self, capsys):
+        assert run_cli("solve", "--side", "8", "--method", "spice") == 0
+        assert "SPICE" in capsys.readouterr().out
+
+    def test_heatmap_printed(self, capsys):
+        assert run_cli("solve", "--side", "10", "--heatmap") == 0
+        assert "IR-drop map" in capsys.readouterr().out
+
+    def test_netlist_input(self, tmp_path, capsys):
+        deck = tmp_path / "d.sp"
+        deck.write_text("V1 a 0 1.8\nR1 a b 1\nI1 b 0 1m\n.op\n.end\n")
+        out = tmp_path / "d.solution"
+        assert run_cli("solve", "--netlist", str(deck), "-o", str(out)) == 0
+        solution = read_solution(out)
+        assert solution["a"] == pytest.approx(1.8)
+
+
+class TestCompare:
+    def test_pass_and_fail(self, tmp_path, capsys):
+        a = tmp_path / "a.solution"
+        b = tmp_path / "b.solution"
+        a.write_text("n 1.8000\n")
+        b.write_text("n 1.8001\n")
+        assert run_cli("compare", str(a), str(b)) == 0
+        assert run_cli("compare", str(a), str(b), "--budget", "1e-5") == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestExperimentCommands:
+    def test_sweep_tsv(self, capsys):
+        assert run_cli(
+            "sweep-tsv", "--side", "8", "--r-values", "1,0.05"
+        ) == 0
+        out = capsys.readouterr().out
+        assert "GS iters" in out
+
+    def test_rw_trap(self, capsys):
+        assert run_cli(
+            "rw-trap", "--side", "8", "--r-values", "1,0.05"
+        ) == 0
+        assert "mean walk len" in capsys.readouterr().out
+
+    def test_phases(self, capsys):
+        assert run_cli("phases", "--side", "10") == 0
+        assert "cvn" in capsys.readouterr().out
+
+    def test_transient(self, capsys):
+        assert run_cli(
+            "transient", "--side", "10", "--t-end", "2e-9",
+            "--dt", "2e-10",
+        ) == 0
+        assert "worst droop" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli()
+
+    def test_repro_error_becomes_exit_2(self, tmp_path):
+        bad = tmp_path / "bad.sp"
+        bad.write_text("R1 a b notanumber\n")
+        assert run_cli("solve", "--netlist", str(bad)) == 2

@@ -1,0 +1,146 @@
+"""Failure-injection and fuzz tests.
+
+Broken inputs -- disconnected grids, open wires, garbage netlists,
+singular systems -- must surface as the package's own exception types
+with actionable messages, never as raw numpy/scipy errors or silent
+wrong answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    GridError,
+    NetlistError,
+    ReproError,
+    SingularSystemError,
+)
+from repro.grid.conductance import stack_system
+from repro.grid.generators import synthesize_stack
+from repro.grid.grid2d import Grid2D
+from repro.grid.validate import validate_grid2d, validate_stack
+from repro.core.rowbased import RowBasedSolver
+from repro.linalg.direct import DirectSolver
+from repro.netlist.parser import parse_netlist
+from repro.spice.dc import dc_operating_point
+
+
+class TestDisconnectedGrids:
+    def test_cut_tier_detected_by_validation(self):
+        """Sever a tier's wires along a column on every tier: the bottom
+        part of the stack loses its pin path where no pillar lands."""
+        stack = synthesize_stack(6, 6, 2, tsv_positions=np.array([[0, 0]]),
+                                 rng=0)
+        for tier in stack.tiers:
+            tier.g_h[:, 2] = 0.0  # vertical cut between columns 2 and 3
+            tier.g_v[:, :] = tier.g_v  # rows intact
+        # Cut all vertical connections crossing the same line too.
+        report = validate_stack(stack)
+        # Pillar is at (0,0): the right half has no path to any pin.
+        assert not report.ok
+
+    def test_singular_direct_solve_raises(self):
+        """An actually disconnected system must raise, not return NaNs."""
+        stack = synthesize_stack(4, 4, 1, tsv_positions=np.array([[0, 0]]),
+                                 rng=0)
+        for tier in stack.tiers:
+            tier.g_h[:] = 0.0
+            tier.g_v[:] = 0.0
+        matrix, rhs = stack_system(stack)
+        with pytest.raises(SingularSystemError):
+            DirectSolver(matrix).solve(rhs)
+
+    def test_open_wire_warning(self):
+        grid = Grid2D.uniform(4, 4)
+        grid.g_h[1, 1] = 0.0
+        report = validate_grid2d(grid, require_pads=False)
+        assert report.ok  # legal
+        assert any("open wire" in w for w in report.warnings)
+
+
+class TestRowBasedOnBrokenGrids:
+    def test_fully_masked_grid(self):
+        """Every node Dirichlet: solve returns the boundary verbatim."""
+        grid = Grid2D.uniform(4, 4)
+        mask = np.ones((4, 4), dtype=bool)
+        solver = RowBasedSolver(grid, mask)
+        values = np.random.default_rng(0).uniform(1.7, 1.8, (4, 4))
+        result = solver.solve(dirichlet_values=values)
+        assert result.converged
+        assert np.array_equal(result.v, values)
+
+    def test_nan_loads_rejected_cleanly(self):
+        grid = Grid2D.uniform(4, 4)
+        grid.loads[2, 2] = np.nan
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = True
+        solver = RowBasedSolver(grid, mask)
+        with pytest.raises(GridError):
+            solver.solve(dirichlet_values=np.full((4, 4), 1.8))
+
+
+class TestNetlistFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        lines=st.lists(
+            st.text(
+                alphabet=st.characters(
+                    blacklist_categories=("Cs",), max_codepoint=0x7F
+                ),
+                max_size=30,
+            ),
+            max_size=8,
+        )
+    )
+    def test_parser_never_raises_foreign_exceptions(self, lines):
+        """Arbitrary ASCII garbage either parses or raises NetlistError."""
+        text = "\n".join(lines)
+        try:
+            parse_netlist(text)
+        except NetlistError:
+            pass  # expected failure mode
+
+    @settings(max_examples=30, deadline=None)
+    @given(value=st.text(max_size=10))
+    def test_bad_values_rejected_cleanly(self, value):
+        deck = f"R1 a b {value}\n" if value.strip() else "R1 a b\n"
+        try:
+            netlist = parse_netlist(deck)
+        except NetlistError:
+            return
+        # If it parsed, the value must be a finite float.
+        assert np.isfinite(netlist.resistors[0].resistance)
+
+    def test_dc_on_vsource_loop_raises(self):
+        """Two voltage sources forcing different voltages on one node pair
+        make the MNA singular; must raise SingularSystemError."""
+        deck = parse_netlist(
+            "V1 a 0 1\nV2 a 0 2\nR1 a b 1\nR2 b 0 1\n"
+        )
+        with pytest.raises(ReproError):
+            dc_operating_point(deck)
+
+
+class TestSolverInputValidation:
+    def test_generator_rejects_silly_parameters(self):
+        with pytest.raises(GridError):
+            synthesize_stack(0, 5, 3)
+        with pytest.raises(GridError):
+            synthesize_stack(5, 5, 0)
+        with pytest.raises(GridError):
+            synthesize_stack(5, 5, 3, tsv_pitch=0)
+
+    def test_vp_rejects_foreign_stack_changes(self, medium_stack):
+        """Loads mutated to violate keep-out after construction are caught
+        at the update_loads boundary."""
+        from repro.core.vp import VoltagePropagationSolver
+
+        solver = VoltagePropagationSolver(medium_stack)
+        bad = [tier.loads.copy() for tier in medium_stack.tiers]
+        position = medium_stack.pillars.positions[3]
+        bad[1][position[0], position[1]] = 1.0
+        with pytest.raises(GridError):
+            solver.update_loads(bad)

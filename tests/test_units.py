@@ -1,0 +1,113 @@
+"""Tests for engineering-unit formatting and parsing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import format_bytes, format_seconds, si_format, si_parse
+
+
+class TestSiFormat:
+    def test_millivolts(self):
+        assert si_format(0.0021, "V") == "2.1mV"
+
+    def test_plain_volts(self):
+        assert si_format(1.8, "V") == "1.8V"
+
+    def test_kilo(self):
+        assert si_format(2100.0, "Hz") == "2.1kHz"
+
+    def test_zero(self):
+        assert si_format(0.0, "V") == "0V"
+
+    def test_negative(self):
+        assert si_format(-0.05, "A") == "-50mA"
+
+    def test_nan_passthrough(self):
+        assert "nan" in si_format(float("nan"), "V")
+
+    def test_infinity_passthrough(self):
+        assert "inf" in si_format(float("inf"))
+
+    def test_very_small_clamps_to_femto(self):
+        assert si_format(1e-18, "F").endswith("fF")
+
+    def test_digits_control(self):
+        assert si_format(1.23456e-3, "V", digits=5) == "1.2346mV"
+
+
+class TestSiParse:
+    def test_plain_number(self):
+        assert si_parse("0.05") == pytest.approx(0.05)
+
+    def test_milli(self):
+        assert si_parse("50m") == pytest.approx(0.05)
+
+    def test_kilo_lower(self):
+        assert si_parse("2.1k") == pytest.approx(2100.0)
+
+    def test_kilo_upper(self):
+        assert si_parse("2.1K") == pytest.approx(2100.0)
+
+    def test_mega_spice(self):
+        assert si_parse("3meg") == pytest.approx(3e6)
+
+    def test_micro(self):
+        assert si_parse("7u") == pytest.approx(7e-6)
+
+    def test_nano_pico_femto(self):
+        assert si_parse("1n") == pytest.approx(1e-9)
+        assert si_parse("1p") == pytest.approx(1e-12)
+        assert si_parse("1f") == pytest.approx(1e-15)
+
+    def test_giga_tera(self):
+        assert si_parse("2G") == pytest.approx(2e9)
+        assert si_parse("2T") == pytest.approx(2e12)
+
+    def test_whitespace(self):
+        assert si_parse("  1.5m ") == pytest.approx(1.5e-3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            si_parse("")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            si_parse("abc")
+
+    @given(
+        st.floats(
+            min_value=1e-12, max_value=1e12,
+            allow_nan=False, allow_infinity=False,
+        )
+    )
+    def test_roundtrip_through_format(self, value):
+        """si_parse inverts si_format up to formatting precision."""
+        text = si_format(value, digits=12)
+        parsed = si_parse(text)
+        assert math.isclose(parsed, value, rel_tol=1e-9)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512B"
+
+    def test_mebibytes(self):
+        assert format_bytes(3.2 * 1024 * 1024) == "3.2MiB"
+
+    def test_large(self):
+        assert format_bytes(5e13).endswith("TiB")
+
+
+class TestFormatSeconds:
+    def test_seconds(self):
+        assert format_seconds(3.625) == "3.625s"
+
+    def test_minutes(self):
+        assert format_seconds(219.7) == "3.66min"
+
+    def test_hours(self):
+        assert format_seconds(4843 * 3) == "4.04h"
