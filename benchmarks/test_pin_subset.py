@@ -9,8 +9,6 @@ policy contrast are recorded.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.compare import compare_voltages
 from repro.bench.methods import run_direct, run_pcg, run_vp
 from repro.bench.reporting import ascii_table

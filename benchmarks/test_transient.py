@@ -8,8 +8,6 @@ C0-like scale and records the per-step VP effort.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.transient import TransientVPSolver, step_stimulus
 from repro.grid.generators import paper_stack
 

@@ -43,6 +43,19 @@ def ir_drop_field(voltages: np.ndarray, v_nominal: float) -> np.ndarray:
     return np.abs(v_nominal - np.asarray(voltages, dtype=float))
 
 
+def batch_worst_ir_drop(voltages: np.ndarray, v_nominal: float) -> np.ndarray:
+    """Per-scenario worst IR drop of a batched voltage array.
+
+    The *last* axis indexes scenarios (the batched engine's layout, e.g.
+    ``(T, R, C, S)`` or ``(T, n, S)``); returns ``(S,)`` worst drops.
+    """
+    voltages = np.asarray(voltages, dtype=float)
+    if voltages.ndim < 2 or voltages.size == 0:
+        raise ReproError("batched voltages need >= 2 dims and data")
+    drops = ir_drop_field(voltages, v_nominal)
+    return drops.reshape(-1, voltages.shape[-1]).max(axis=0)
+
+
 def ir_drop_report(voltages: np.ndarray, v_nominal: float) -> IRDropReport:
     """Statistics of the drop field; accepts ``(T, R, C)`` or any shape
     (per-tier stats need the 3-D shape, otherwise one pseudo-tier)."""

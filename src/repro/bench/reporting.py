@@ -1,6 +1,10 @@
-"""Plain-text and Markdown table rendering for benchmark reports."""
+"""Table rendering and CSV/JSON writers for benchmark reports."""
 
 from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
 
 from repro.units import format_seconds
 
@@ -39,6 +43,37 @@ def markdown_table(headers: list[str], rows: list[list]) -> str:
     for row in text_rows:
         lines.append("| " + " | ".join(row) + " |")
     return "\n".join(lines)
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays so json.dump accepts report payloads."""
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def write_csv(path: str | Path, headers: list[str], rows: list[list]) -> Path:
+    """Write a report table as CSV (numpy scalars unwrapped)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow([_jsonable(cell) for cell in row])
+    return path
+
+
+def write_json(path: str | Path, payload) -> Path:
+    """Write a report payload (dict/list, numpy values allowed) as JSON."""
+    path = Path(path)
+    with path.open("w") as handle:
+        json.dump(_jsonable(payload), handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
 
 
 def fmt_mb(n_bytes: float | None) -> str:

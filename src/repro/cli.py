@@ -7,6 +7,8 @@ Subcommands (all offline, deterministic with ``--seed``):
   or SPICE and write a ``.solution`` file;
 * ``repro compare`` -- contest-style diff of two solution files;
 * ``repro table1`` -- regenerate Table I of the paper;
+* ``repro sweep`` -- batched multi-scenario sweep (load corners, rail
+  current, TSV design points) with a CSV/JSON report;
 * ``repro sweep-tsv`` -- experiment E6 (GS degradation vs TSV resistance);
 * ``repro rw-trap`` -- experiment E7 (random-walk trap);
 * ``repro transient`` -- experiment E14 (RC transient droop);
@@ -168,6 +170,63 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_floats(text: str, option: str) -> list[float]:
+    try:
+        values = [float(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise ReproError(f"{option} expects comma-separated numbers, got {text!r}")
+    if not values:
+        raise ReproError(f"{option} needs at least one value")
+    return values
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.sweeps import run_sweep
+    from repro.core.batch import BatchedVPConfig
+    from repro.scenarios import (
+        cartesian_sweep,
+        load_corner_sweep,
+        pad_current_sweep,
+        tsv_design_sweep,
+    )
+
+    if args.corner_levels and args.load_scales is not None:
+        raise ReproError(
+            "--corner-levels and --load-scales are mutually exclusive "
+            "(per-tier corners replace global scales)"
+        )
+    stack = _build_stack(args)
+    families = []
+    if args.corner_levels:
+        levels = _parse_floats(args.corner_levels, "--corner-levels")
+        families.append(load_corner_sweep(stack.n_tiers, levels))
+    else:
+        scales = _parse_floats(
+            args.load_scales or "0.8,1.0,1.2", "--load-scales"
+        )
+        families.append(pad_current_sweep(scales))
+    r_scales = _parse_floats(args.r_tsv_scales, "--r-tsv-scales")
+    if r_scales != [1.0]:
+        families.append(tsv_design_sweep(r_scales))
+    scenarios = cartesian_sweep(*families)
+
+    config = BatchedVPConfig(
+        outer_tol=args.outer_tol, vda=args.vda, v0_init=args.v0_init
+    )
+    report = run_sweep(
+        stack, scenarios, config, compare_sequential=args.compare_sequential
+    )
+    print(report.table())
+    print(report.summary())
+    if args.csv:
+        report.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        report.to_json(args.json)
+        print(f"wrote {args.json}")
+    return 0 if all(o.converged for o in report.outcomes) else 1
+
+
 def cmd_sweep_tsv(args: argparse.Namespace) -> int:
     r_values = tuple(float(r) for r in args.r_values.split(","))
     points = tsv_resistance_sweep(args.side, r_values, seed=args.seed)
@@ -290,6 +349,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--markdown", action="store_true")
     p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser(
+        "sweep",
+        help="batched multi-scenario sweep (shared-factorization engine)",
+    )
+    _add_stack_arguments(p)
+    p.add_argument(
+        "--load-scales", default=None,
+        help="comma-separated global current corners (default 0.8,1.0,1.2; "
+        "mutually exclusive with --corner-levels)",
+    )
+    p.add_argument(
+        "--corner-levels", default=None,
+        help="per-tier activity levels, swept as the cartesian product "
+        "across tiers (levels^tiers scenarios)",
+    )
+    p.add_argument(
+        "--r-tsv-scales", default="1.0",
+        help="comma-separated TSV-resistance multipliers (crossed with "
+        "the load corners)",
+    )
+    p.add_argument("--outer-tol", type=float, default=1e-4, help="volts")
+    p.add_argument(
+        "--vda",
+        choices=("auto", "fixed", "adaptive", "secant", "anderson"),
+        default="auto",
+    )
+    p.add_argument(
+        "--v0-init", choices=("pin", "loadshare"), default="loadshare",
+        help="layer-0 seed (loadshare pre-drops pillars by their load share)",
+    )
+    p.add_argument(
+        "--compare-sequential", action="store_true",
+        help="also run the per-scenario solve_vp loop and report speedup",
+    )
+    p.add_argument("--csv", help="write the per-scenario report as CSV")
+    p.add_argument("--json", help="write the full report as JSON")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("sweep-tsv", help="E6: GS vs TSV resistance")
     p.add_argument("--side", type=int, default=24)

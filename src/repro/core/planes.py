@@ -1,0 +1,249 @@
+"""Free/pillar-partitioned plane systems -- the shared CVN kernel.
+
+The CVN phase of the VP method solves, per tier, the reduced system
+
+    A_ff x_f = b_f - A_fp v_p
+
+with the pillar (TSV) nodes held at Dirichlet values ``v_p``.  Both the
+single-scenario :class:`~repro.core.vp.VoltagePropagationSolver` and the
+batched scenario engine (:mod:`repro.core.batch`) run exactly this solve;
+this module owns the partitioned structure so they share one code path:
+
+* tiers with identical wire geometry share one matrix *and* one
+  factorization (the paper replicates a single tier, so a 3-tier stack
+  factorizes once);
+* the factorized solve accepts a multi-column right-hand side -- ``v_p``
+  of shape ``(P,)`` is simply the batch-size-1 special case of ``(P, S)``;
+* pillar drawn currents come from the stored pillar rows of the full
+  plane matrix (``A_p v - b_p``), again single- or multi-column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.tsv import plane_matrices
+from repro.grid.stack3d import PowerGridStack
+from repro.linalg.direct import DirectSolver
+
+
+def group_tiers(stack: PowerGridStack) -> list[int]:
+    """Map each tier to the index of the first tier sharing its wire
+    geometry (conductances and pads; loads excluded)."""
+    signatures: dict[bytes, int] = {}
+    groups: list[int] = []
+    for l, tier in enumerate(stack.tiers):
+        signature = (
+            tier.g_h.tobytes()
+            + tier.g_v.tobytes()
+            + tier.g_pad.tobytes()
+            + np.float64(tier.v_pad).tobytes()
+        )
+        groups.append(signatures.setdefault(signature, l))
+    return groups
+
+
+def _match_columns(vector: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Broadcast a per-tier base vector against a (n, S) batch array."""
+    if reference.ndim == 2 and vector.ndim == 1:
+        return vector[:, None]
+    return vector
+
+
+class ReducedPlaneSystem:
+    """Per-tier reduced (free-node) systems of one stack.
+
+    Parameters
+    ----------
+    stack:
+        The 3-D grid whose tiers are partitioned.
+    groups:
+        Tier-sharing map as produced by :func:`group_tiers` (computed when
+        omitted).  Tiers in one group share ``A_ff``/``A_fp``/``A_p`` and,
+        when ``factorize`` is set, one LU factorization.
+    planes:
+        Pre-built per-tier ``(matrix, rhs)`` pairs from
+        :func:`repro.core.tsv.plane_matrices`; rebuilt when omitted.
+    factorize:
+        Factorize each group's ``A_ff`` once (the ``direct`` inner
+        solver).  When False the raw CSR blocks and Jacobi inverse
+        diagonals are kept instead (the ``cg`` inner solver).
+    pillar_rows:
+        Also slice and keep the pillar rows ``A_p`` of the full plane
+        matrices (enables :meth:`drawn_currents`).  The batched engine
+        needs them; the single-scenario solver extracts drawn currents
+        from the full matrices and skips the extra slicing/storage.
+    """
+
+    def __init__(
+        self,
+        stack: PowerGridStack,
+        *,
+        groups: list[int] | None = None,
+        planes: list[tuple[sp.csr_matrix, np.ndarray]] | None = None,
+        factorize: bool = True,
+        pillar_rows: bool = False,
+    ):
+        self.stack = stack
+        self.n = stack.rows * stack.cols
+        self.pillar_flat = stack.pillar_flat_indices()
+        self.groups = group_tiers(stack) if groups is None else groups
+        self.planes = (
+            plane_matrices(stack, groups=self.groups) if planes is None else planes
+        )
+        self.factorized = factorize
+        self.has_pillar_rows = pillar_rows
+
+        free_mask = np.ones(self.n, dtype=bool)
+        free_mask[self.pillar_flat] = False
+        self.free = np.flatnonzero(free_mask)
+
+        self.a_ff: list = []          # DirectSolver (factorized) or CSR
+        self.a_fp: list[sp.csr_matrix] = []
+        self.a_pillar: list[sp.csr_matrix] = []
+        self.jacobi_inv: list[np.ndarray] = []
+        self.b_free: list[np.ndarray] = []
+        self.b_pillar: list[np.ndarray] = []
+        cache: dict[int, tuple] = {}
+        for l, (matrix, rhs) in enumerate(self.planes):
+            group = self.groups[l]
+            if group not in cache:
+                a_ff = matrix[self.free][:, self.free].tocsr()
+                a_fp = matrix[self.free][:, self.pillar_flat].tocsr()
+                a_p = (
+                    matrix[self.pillar_flat, :].tocsr() if pillar_rows else None
+                )
+                if factorize:
+                    cache[group] = (DirectSolver(a_ff), a_fp, a_p, None)
+                else:
+                    cache[group] = (a_ff, a_fp, a_p, 1.0 / a_ff.diagonal())
+            a_ff, a_fp, a_p, inv_diag = cache[group]
+            self.a_ff.append(a_ff)
+            self.a_fp.append(a_fp)
+            if a_p is not None:
+                self.a_pillar.append(a_p)
+            if inv_diag is not None:
+                self.jacobi_inv.append(inv_diag)
+            self.b_free.append(rhs[self.free])
+            if pillar_rows:
+                self.b_pillar.append(rhs[self.pillar_flat])
+
+    # ------------------------------------------------------------------
+    @property
+    def n_free(self) -> int:
+        return self.free.size
+
+    @property
+    def n_pillars(self) -> int:
+        return self.pillar_flat.size
+
+    def reduced_rhs(
+        self,
+        tier_index: int,
+        pillar_v: np.ndarray,
+        b_free: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``b_f - A_fp v_p`` for one tier; ``pillar_v`` is ``(P,)`` or
+        ``(P, S)`` and an explicit per-scenario ``b_free`` ``(n_free, S)``
+        overrides the tier's base RHS."""
+        base = self.b_free[tier_index] if b_free is None else b_free
+        coupling = self.a_fp[tier_index] @ pillar_v
+        if coupling.ndim == 2:
+            # Subtract straight into a Fortran-ordered buffer: SuperLU
+            # consumes multi-column RHS column-contiguous, so building it
+            # in that layout here saves a full copy in solve_free.
+            out = np.empty(coupling.shape, order="F")
+            np.subtract(_match_columns(base, coupling), coupling, out=out)
+            return out
+        return base - coupling
+
+    def solve_free(
+        self,
+        tier_index: int,
+        pillar_v: np.ndarray,
+        b_free: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Solve one tier's reduced system for the free-node voltages.
+
+        Single- and multi-column ``pillar_v`` run through the same cached
+        factorization; the multi-column case back-substitutes all
+        scenarios in one call.
+        """
+        if not self.factorized:
+            raise RuntimeError(
+                "solve_free needs factorize=True (use reduced_rhs with an "
+                "iterative solver otherwise)"
+            )
+        rhs = self.reduced_rhs(tier_index, pillar_v, b_free)
+        if rhs.ndim == 2 and not rhs.flags.f_contiguous:
+            rhs = np.asfortranarray(rhs)
+        return self.a_ff[tier_index].solve(rhs)
+
+    def assemble(
+        self, x_free: np.ndarray, pillar_v: np.ndarray
+    ) -> np.ndarray:
+        """Scatter free-node and pillar values into a full flat field
+        (``(n,)`` or ``(n, S)``, matching the inputs)."""
+        if x_free.ndim == 2:
+            field = np.empty((self.n, x_free.shape[1]))
+        else:
+            field = np.empty(self.n)
+        field[self.free] = x_free
+        field[self.pillar_flat] = pillar_v
+        return field
+
+    def drawn_currents(
+        self,
+        tier_index: int,
+        v_full: np.ndarray,
+        b_pillar: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Current each pillar delivers into this plane: the KCL residual
+        ``A_p v - b_p`` at the pillar rows (``(P,)`` or ``(P, S)``)."""
+        if not self.has_pillar_rows:
+            raise RuntimeError("drawn_currents needs pillar_rows=True")
+        base = self.b_pillar[tier_index] if b_pillar is None else b_pillar
+        product = self.a_pillar[tier_index] @ v_full
+        return product - _match_columns(base, product)
+
+    def update_rhs(self, tier_index: int, rhs_full: np.ndarray) -> None:
+        """Refresh one tier's base RHS after a load change (matrices and
+        factors survive)."""
+        self.planes[tier_index] = (self.planes[tier_index][0], rhs_full)
+        self.b_free[tier_index] = rhs_full[self.free]
+        if self.has_pillar_rows:
+            self.b_pillar[tier_index] = rhs_full[self.pillar_flat]
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes held by the partitioned blocks (shared objects counted
+        once)."""
+        total = 0
+        seen: set[int] = set()
+
+        def once(obj, n_bytes: int) -> int:
+            if id(obj) in seen:
+                return 0
+            seen.add(id(obj))
+            return n_bytes
+
+        def csr_bytes(matrix) -> int:
+            return once(
+                matrix,
+                matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes,
+            )
+
+        for l in range(len(self.planes)):
+            total += csr_bytes(self.a_fp[l]) + self.b_free[l].nbytes
+            if self.has_pillar_rows:
+                total += csr_bytes(self.a_pillar[l]) + self.b_pillar[l].nbytes
+            block = self.a_ff[l]
+            if self.factorized:
+                total += once(block, block.memory_bytes)
+            else:
+                total += csr_bytes(block)
+        for inv in self.jacobi_inv:
+            total += once(inv, inv.nbytes)
+        return int(total)

@@ -15,6 +15,13 @@ gain ``dF/dV0`` from consecutive iterates -- a diagonal quasi-Newton
 update that typically converges in a handful of outer iterations;
 :class:`AndersonVDA` applies windowed Anderson acceleration to the same
 fixed-point map.  Benchmark E8 compares all four.
+
+Every policy is batch-aware: ``V0`` and ``F`` may be ``(P,)`` vectors
+(one scenario) or ``(P, S)`` matrices (``S`` scenarios solved in
+lockstep by the batched engine).  Columns are independent -- residual
+norms, damping factors, secant gains, and Anderson windows are kept per
+scenario -- so the batched iteration of column ``s`` reproduces exactly
+the sequence a standalone solve of scenario ``s`` would take.
 """
 
 from __future__ import annotations
@@ -26,32 +33,65 @@ import numpy as np
 from repro.errors import ReproError
 
 
+def _scenario_norm(residual: np.ndarray):
+    """``max_j |F_j|`` per scenario: a float for ``(P,)`` residuals, an
+    ``(S,)`` array for ``(P, S)`` batches (empty pillar sets give 0)."""
+    if residual.ndim == 1:
+        return float(np.max(np.abs(residual))) if residual.size else 0.0
+    if residual.shape[0] == 0:
+        return np.zeros(residual.shape[1])
+    return np.max(np.abs(residual), axis=0)
+
+
 class VDAPolicy:
-    """Interface: :meth:`update` maps (V0, residual F) to the next V0."""
+    """Interface: :meth:`update` maps (V0, residual F) to the next V0.
+
+    Implementations accept ``(P,)`` single-scenario vectors or ``(P, S)``
+    scenario batches and keep any internal state column-independent.
+    ``active`` (an ``(S,)`` mask, batched calls only) marks the columns
+    whose updated values the caller will use -- policies with per-column
+    work may skip retired columns, but state must stay full-width.
+    """
 
     name = "base"
 
-    def reset(self, n_pillars: int) -> None:
-        """Prepare for a fresh solve of ``n_pillars`` unknowns."""
+    def reset(self, n_pillars: int | tuple[int, ...]) -> None:
+        """Prepare for a fresh solve; ``n_pillars`` is ``P`` or the batch
+        shape ``(P, S)``."""
 
-    def update(self, v0: np.ndarray, residual: np.ndarray) -> np.ndarray:
+    def update(
+        self,
+        v0: np.ndarray,
+        residual: np.ndarray,
+        active: np.ndarray | None = None,
+    ) -> np.ndarray:
         raise NotImplementedError
 
 
 class FixedEtaVDA(VDAPolicy):
-    """The paper's basic rule: ``V0 += eta * F`` with constant damping."""
+    """The paper's basic rule: ``V0 += eta * F`` with constant damping.
+
+    ``eta`` may be a scalar or an ``(S,)`` per-scenario array (the batch
+    engine auto-scales damping per design point).
+    """
 
     name = "fixed"
 
-    def __init__(self, eta: float = 0.5):
-        if eta <= 0:
+    def __init__(self, eta: float | np.ndarray = 0.5):
+        if np.any(np.asarray(eta) <= 0):
             raise ReproError("eta must be positive")
         self.eta = eta
 
-    def reset(self, n_pillars: int) -> None:
+    def reset(self, n_pillars: int | tuple[int, ...]) -> None:
         del n_pillars
 
-    def update(self, v0: np.ndarray, residual: np.ndarray) -> np.ndarray:
+    def update(
+        self,
+        v0: np.ndarray,
+        residual: np.ndarray,
+        active: np.ndarray | None = None,
+    ) -> np.ndarray:
+        del active  # elementwise update: no per-column work to skip
         return v0 + self.eta * residual
 
 
@@ -66,7 +106,7 @@ class AdaptiveEtaVDA(VDAPolicy):
 
     def __init__(
         self,
-        eta0: float = 0.5,
+        eta0: float | np.ndarray = 0.5,
         grow: float = 1.25,
         shrink: float = 0.5,
         eta_max: float = 1.5,
@@ -80,20 +120,38 @@ class AdaptiveEtaVDA(VDAPolicy):
         self.eta_max = eta_max
         self.eta_min = eta_min
         self.eta = eta0
-        self._prev_norm: float | None = None
+        self._prev_norm = None
 
-    def reset(self, n_pillars: int) -> None:
+    def reset(self, n_pillars: int | tuple[int, ...]) -> None:
         del n_pillars
         self.eta = self.eta0
         self._prev_norm = None
 
-    def update(self, v0: np.ndarray, residual: np.ndarray) -> np.ndarray:
-        norm = float(np.max(np.abs(residual))) if residual.size else 0.0
+    def update(
+        self,
+        v0: np.ndarray,
+        residual: np.ndarray,
+        active: np.ndarray | None = None,
+    ) -> np.ndarray:
+        del active  # elementwise update: no per-column work to skip
+        # Per-scenario norms: each batch column grows/shrinks its own eta.
+        norm = _scenario_norm(residual)
         if self._prev_norm is not None:
-            if norm < self._prev_norm:
-                self.eta = min(self.eta * self.grow, self.eta_max)
+            if np.ndim(norm) == 0:
+                if norm < self._prev_norm:
+                    self.eta = min(float(np.max(self.eta)) * self.grow, self.eta_max)
+                else:
+                    self.eta = max(float(np.min(self.eta)) * self.shrink, self.eta_min)
             else:
-                self.eta = max(self.eta * self.shrink, self.eta_min)
+                self.eta = np.clip(
+                    np.where(
+                        norm < self._prev_norm,
+                        np.asarray(self.eta) * self.grow,
+                        np.asarray(self.eta) * self.shrink,
+                    ),
+                    self.eta_min,
+                    self.eta_max,
+                )
         self._prev_norm = norm
         return v0 + self.eta * residual
 
@@ -113,7 +171,7 @@ class PerPillarSecantVDA(VDAPolicy):
 
     def __init__(
         self,
-        eta0: float = 0.5,
+        eta0: float | np.ndarray = 0.5,
         gain_min: float = 0.5,
         gain_max: float = 1e6,
         dv_floor: float = 1e-9,
@@ -128,12 +186,18 @@ class PerPillarSecantVDA(VDAPolicy):
         self._prev_f: np.ndarray | None = None
         self._gain: np.ndarray | None = None
 
-    def reset(self, n_pillars: int) -> None:
+    def reset(self, n_pillars: int | tuple[int, ...]) -> None:
         self._prev_v0 = None
         self._prev_f = None
         self._gain = np.full(n_pillars, np.nan)
 
-    def update(self, v0: np.ndarray, residual: np.ndarray) -> np.ndarray:
+    def update(
+        self,
+        v0: np.ndarray,
+        residual: np.ndarray,
+        active: np.ndarray | None = None,
+    ) -> np.ndarray:
+        del active  # elementwise update: no per-column work to skip
         if self._gain is None:
             self._gain = np.full(v0.shape, np.nan)
         if self._prev_v0 is not None:
@@ -150,8 +214,9 @@ class PerPillarSecantVDA(VDAPolicy):
         )
         # Trust region: a Newton step should not overshoot the residual
         # scale (gains are >= 1 for pinned pillars at the true Jacobian).
-        cap = 2.0 * float(np.max(np.abs(residual))) if residual.size else 0.0
-        if cap > 0:
+        # Per-scenario caps keep batch columns independent.
+        cap = 2.0 * np.asarray(_scenario_norm(residual))
+        if residual.size and np.any(cap > 0):
             step = np.clip(step, -cap, cap)
         self._prev_v0 = v0.copy()
         self._prev_f = residual.copy()
@@ -177,30 +242,43 @@ class AndersonVDA(VDAPolicy):
         self._v0s: deque[np.ndarray] = deque(maxlen=m + 1)
         self._fs: deque[np.ndarray] = deque(maxlen=m + 1)
 
-    def reset(self, n_pillars: int) -> None:
+    def reset(self, n_pillars: int | tuple[int, ...]) -> None:
         del n_pillars
         self._v0s.clear()
         self._fs.clear()
 
-    def update(self, v0: np.ndarray, residual: np.ndarray) -> np.ndarray:
+    def update(
+        self,
+        v0: np.ndarray,
+        residual: np.ndarray,
+        active: np.ndarray | None = None,
+    ) -> np.ndarray:
         # Scale residuals so the fixed-point map is g(v) = v + eta0 * F.
         f = self.eta0 * residual
         self._v0s.append(v0.copy())
-        self._fs.append(f.copy())
+        self._fs.append(np.array(f, dtype=float, copy=True))
         k = len(self._fs)
         if k == 1:
             return v0 + f
-        # Differences of residuals / iterates over the window.
+        # Differences of residuals / iterates over the window; for a
+        # (P, S) batch the window axis is inserted after the pillar axis.
         f_mat = np.stack([self._fs[i + 1] - self._fs[i] for i in range(k - 1)], axis=1)
         v_mat = np.stack(
             [self._v0s[i + 1] - self._v0s[i] for i in range(k - 1)], axis=1
         )
-        gamma, *_ = np.linalg.lstsq(f_mat, f, rcond=None)
-        v_new = (
-            v0
-            + self.beta * f
-            - (v_mat + self.beta * f_mat) @ gamma
+        if residual.ndim == 1:
+            gamma, *_ = np.linalg.lstsq(f_mat, f, rcond=None)
+            return v0 + self.beta * f - (v_mat + self.beta * f_mat) @ gamma
+        # Batched: each scenario column extrapolates with its own window
+        # (the least-squares problems are independent).  ``active`` lets
+        # the caller skip retired columns it will discard anyway.
+        v_new = v0 + self.beta * f
+        columns = (
+            range(residual.shape[1]) if active is None else np.flatnonzero(active)
         )
+        for s in columns:
+            gamma, *_ = np.linalg.lstsq(f_mat[:, :, s], f[:, s], rcond=None)
+            v_new[:, s] -= (v_mat[:, :, s] + self.beta * f_mat[:, :, s]) @ gamma
         return v_new
 
 

@@ -38,14 +38,72 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConvergenceError, GridError, ReproError
+from repro.core.planes import ReducedPlaneSystem, group_tiers
 from repro.core.rowbased import RowBasedConfig, RowBasedSolver, estimate_optimal_omega
 from repro.core.tsv import pillar_drawn_currents, plane_matrices
 from repro.core.vda import VDAPolicy, make_vda_policy
 from repro.grid.stack3d import PowerGridStack
 from repro.linalg.cg import cg
-from repro.linalg.direct import DirectSolver
 
 INNER_SOLVERS = ("rb", "direct", "cg")
+
+#: Gain-bound damping below which the ``"auto"`` VDA rule abandons the
+#: paper's adaptive policy for Anderson acceleration (stiff pillars).
+AUTO_ETA_THRESHOLD = 0.05
+#: Anderson window the ``"auto"`` rule uses in the stiff regime.
+AUTO_ANDERSON_WINDOW = 30
+
+
+def resolve_vda_policy(
+    vda: str | VDAPolicy, eta, auto_eta
+) -> VDAPolicy:
+    """Materialize a VDA policy -- shared by the single-scenario and
+    batched solvers so the ``"auto"`` rule cannot drift between them.
+
+    ``"auto"`` chooses the paper's adaptive rule when every (scenario's)
+    gain-bound damping is healthy, and Anderson acceleration (window 30)
+    when the stiffest pillar gain forces tiny damping.  ``auto_eta`` is
+    a scalar (one scenario) or an ``(S,)`` per-scenario array; a batch
+    mixing both regimes is handled by the batched solver, which applies
+    this same threshold per scenario column.
+    """
+    if isinstance(vda, VDAPolicy):
+        return vda
+    name = vda
+    eta = auto_eta if eta is None else eta
+    kwargs: dict = {}
+    if name == "auto":
+        name = (
+            "adaptive"
+            if float(np.min(auto_eta)) >= AUTO_ETA_THRESHOLD
+            else "anderson"
+        )
+        if name == "anderson":
+            kwargs["m"] = AUTO_ANDERSON_WINDOW
+    kwargs["eta" if name == "fixed" else "eta0"] = eta
+    return make_vda_policy(name, **kwargs)
+
+
+def loadshare_v0(
+    v_pin: float, r_seg: np.ndarray, tier_totals: np.ndarray, n_pillars: int
+) -> np.ndarray:
+    """The ``v0_init="loadshare"`` seed -- one formula for both solvers.
+
+    Approximates each pillar's fixed-point voltage by dropping an equal
+    share of the tiers' total load through the pillar's segment
+    resistances: segment ``l`` carries roughly ``sum_{m <= l} load_m / P``,
+    so ``V0 ~= v_pin - sum_l r_seg[l] * i_seg,l``.  Accepts the
+    single-scenario shapes (``r_seg (T, P)``, ``tier_totals (T,)``) and
+    the batched ones (``(T, P, S)``, ``(T, S)``), returning ``(P,)`` or
+    ``(P, S)`` accordingly.
+    """
+    seg_currents = np.cumsum(np.asarray(tier_totals, dtype=float), axis=0)
+    seg_currents = seg_currents / max(n_pillars, 1)
+    if r_seg.ndim == 3:
+        drop = (r_seg * seg_currents[:, None, :]).sum(axis=0)
+    else:
+        drop = (r_seg * seg_currents[:, None]).sum(axis=0)
+    return v_pin - drop
 
 
 @dataclass
@@ -79,11 +137,19 @@ class VPConfig:
     warm_start: bool = True
     record_history: bool = True
     raise_on_divergence: bool = False
+    #: Layer-0 TSV voltage seed: ``"pin"`` is the paper's ``V0 = VDD``;
+    #: ``"loadshare"`` pre-drops each pillar by its load share through the
+    #: segment resistances, typically saving a few outer iterations.
+    v0_init: str = "pin"
 
     def __post_init__(self) -> None:
         if self.inner not in INNER_SOLVERS:
             raise ReproError(
                 f"unknown inner solver {self.inner!r}; use one of {INNER_SOLVERS}"
+            )
+        if self.v0_init not in ("pin", "loadshare"):
+            raise ReproError(
+                f"unknown v0_init {self.v0_init!r}; use 'pin' or 'loadshare'"
             )
         if self.outer_tol <= 0 or self.inner_tol <= 0:
             raise ReproError("tolerances must be positive")
@@ -171,7 +237,7 @@ class VoltagePropagationSolver:
         # inner modes (and as the basis of the direct/cg reduced systems).
         # Tiers sharing wire geometry (the paper replicates one tier) share
         # one matrix; right-hand sides stay per-tier (loads may differ).
-        self._tier_group = self._group_tiers()
+        self._tier_group = group_tiers(stack)
         self._planes = plane_matrices(stack, groups=self._tier_group)
 
         if self.config.inner == "rb":
@@ -207,21 +273,6 @@ class VoltagePropagationSolver:
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
-    def _group_tiers(self) -> list[int]:
-        """Map each tier to the index of the first tier sharing its wire
-        geometry (conductances and pads; loads excluded)."""
-        signatures: dict[bytes, int] = {}
-        groups: list[int] = []
-        for l, tier in enumerate(self.stack.tiers):
-            signature = (
-                tier.g_h.tobytes()
-                + tier.g_v.tobytes()
-                + tier.g_pad.tobytes()
-                + np.float64(tier.v_pad).tobytes()
-            )
-            groups.append(signatures.setdefault(signature, l))
-        return groups
-
     def _tier_base_rhs(self, tier) -> np.ndarray:
         """Constant intra-plane RHS of one tier (zeroed at pillar nodes)."""
         base = tier.g_pad * tier.v_pad - tier.loads
@@ -256,31 +307,20 @@ class VoltagePropagationSolver:
             self._rb_omega = config.rb_omega
 
     def _setup_reduced(self) -> None:
-        """Reduced free-node systems for the direct/cg inner solvers."""
-        n = self.rows * self.cols
-        free_mask = np.ones(n, dtype=bool)
-        free_mask[self.pillar_flat] = False
-        self._free = np.flatnonzero(free_mask)
-        self._a_ff: list = []
-        self._a_fp: list = []
-        self._b_free: list = []
-        self._jacobi_inv: list = []
-        cache: dict[int, tuple] = {}
-        for l, (matrix, rhs) in enumerate(self._planes):
-            group = self._tier_group[l]
-            if group not in cache:
-                a_ff = matrix[self._free][:, self._free].tocsr()
-                a_fp = matrix[self._free][:, self.pillar_flat].tocsr()
-                if self.config.inner == "direct":
-                    cache[group] = (DirectSolver(a_ff), a_fp, None)
-                else:
-                    cache[group] = (a_ff, a_fp, 1.0 / a_ff.diagonal())
-            a_ff, a_fp, inv_diag = cache[group]
-            self._a_ff.append(a_ff)
-            self._a_fp.append(a_fp)
-            self._b_free.append(rhs[self._free])
-            if inv_diag is not None:
-                self._jacobi_inv.append(inv_diag)
+        """Reduced free-node systems for the direct/cg inner solvers.
+
+        The partitioned structure (and, for ``direct``, the shared LU
+        factors) lives in :class:`ReducedPlaneSystem` -- the same kernel
+        the batched scenario engine drives with multi-column RHS
+        matrices; here it runs with single columns (batch size 1).
+        """
+        self._reduced = ReducedPlaneSystem(
+            self.stack,
+            groups=self._tier_group,
+            planes=self._planes,
+            factorize=self.config.inner == "direct",
+        )
+        self._free = self._reduced.free
 
     # ------------------------------------------------------------------
     @property
@@ -310,16 +350,7 @@ class VoltagePropagationSolver:
             for solver, base in zip(self._rb_solvers, self._rb_base):
                 total += once(solver, solver.memory_bytes) + base.nbytes
         else:
-            for a_fp, b_f in zip(self._a_fp, self._b_free):
-                total += csr_bytes(a_fp) + b_f.nbytes
-            if self.config.inner == "direct":
-                for solver in self._a_ff:
-                    total += once(solver, solver.memory_bytes)
-            else:
-                for a_ff in self._a_ff:
-                    total += csr_bytes(a_ff)
-                for inv in self._jacobi_inv:
-                    total += once(inv, inv.nbytes)
+            total += self._reduced.memory_bytes
         # Voltage fields and pillar vectors.
         total += self.n_tiers * self.rows * self.cols * 8
         total += 5 * self.pillar_flat.size * 8
@@ -350,16 +381,17 @@ class VoltagePropagationSolver:
             )
             return result.v, result.sweeps
 
-        b = self._b_free[tier_index] - self._a_fp[tier_index] @ pillar_voltages
+        reduced = self._reduced
         v_field = warm.copy().ravel()
         if self.config.inner == "direct":
-            x = self._a_ff[tier_index].solve(b)
+            x = reduced.solve_free(tier_index, pillar_voltages)
             iterations = 1
         else:
-            inv_diag = self._jacobi_inv[tier_index]
+            b = reduced.reduced_rhs(tier_index, pillar_voltages)
+            inv_diag = reduced.jacobi_inv[tier_index]
             x0 = v_field[self._free] if self.config.warm_start else None
             result = cg(
-                self._a_ff[tier_index],
+                reduced.a_ff[tier_index],
                 b,
                 x0=x0,
                 m_inv=lambda r: inv_diag * r,
@@ -386,7 +418,7 @@ class VoltagePropagationSolver:
         t_start = time.perf_counter()
         n_pillars = self.pillar_flat.size
         if v0 is None:
-            v0 = np.full(n_pillars, self.v_pin)
+            v0 = self._initial_v0()
         else:
             v0 = np.array(v0, dtype=float)
             if v0.shape != (n_pillars,):
@@ -487,26 +519,23 @@ class VoltagePropagationSolver:
             )
         return result
 
-    def _resolve_vda_policy(self) -> VDAPolicy:
-        """Materialize the configured VDA policy.
+    def _initial_v0(self) -> np.ndarray:
+        """Default layer-0 TSV voltage seed per ``config.v0_init``
+        (see :func:`loadshare_v0`)."""
+        n_pillars = self.pillar_flat.size
+        if self.config.v0_init == "pin" or n_pillars == 0:
+            return np.full(n_pillars, self.v_pin)
+        tier_totals = np.array(
+            [tier.total_load() for tier in self.stack.tiers]
+        )
+        return loadshare_v0(self.v_pin, self.r_seg, tier_totals, n_pillars)
 
-        ``"auto"`` chooses the paper's adaptive rule when the pillar gain
-        bound permits a healthy damping factor, and Anderson acceleration
-        (window 30) in the stiff large-``r_tsv`` regime where scalar
-        damping stalls.
-        """
-        config = self.config
-        if isinstance(config.vda, VDAPolicy):
-            return config.vda
-        name = config.vda
-        eta = self.auto_eta if config.eta is None else config.eta
-        kwargs: dict = {}
-        if name == "auto":
-            name = "adaptive" if self.auto_eta >= 0.05 else "anderson"
-            if name == "anderson":
-                kwargs["m"] = 30
-        kwargs["eta" if name == "fixed" else "eta0"] = eta
-        return make_vda_policy(name, **kwargs)
+    def _resolve_vda_policy(self) -> VDAPolicy:
+        """Materialize the configured VDA policy (see
+        :func:`resolve_vda_policy`)."""
+        return resolve_vda_policy(
+            self.config.vda, self.config.eta, self.auto_eta
+        )
 
     def _inner_tolerance(self, prev_max_f: float | None) -> float:
         """Inexact inner solves, gain-aware.
@@ -561,7 +590,7 @@ class VoltagePropagationSolver:
             if self.config.inner == "rb":
                 self._rb_base[l] = self._tier_base_rhs(tier)
             else:
-                self._b_free[l] = rhs[self._free]
+                self._reduced.update_rhs(l, rhs)
 
 
 def solve_vp(stack: PowerGridStack, **config_kwargs) -> VPResult:

@@ -91,6 +91,18 @@ def make_loads(
     return loads
 
 
+def scale_loads(loads: np.ndarray, scale: float) -> np.ndarray:
+    """Scale a tier's load field by a non-negative corner factor.
+
+    Scaling preserves keep-out zeros exactly, so a scaled field is valid
+    for the same TSV layout as the original.  Returns a new array.
+    """
+    scale = float(scale)
+    if scale < 0:
+        raise GridError(f"load scale must be >= 0, got {scale}")
+    return np.asarray(loads, dtype=float) * scale
+
+
 def _hotspot_field(
     rows: int,
     cols: int,

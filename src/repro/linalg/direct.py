@@ -48,11 +48,23 @@ class DirectSolver:
         return int(self._lu.nnz * 12 + 8 * self.n)
 
     def solve(self, b: np.ndarray) -> np.ndarray:
+        """Back-substitute one or many right-hand sides.
+
+        ``b`` may be ``(n,)`` or ``(n, k)``; the multi-column form solves
+        all ``k`` systems against the cached factorization in one call
+        (the batched scenario engine's CVN hot path).
+        """
         b = np.asarray(b, dtype=float)
+        if b.ndim not in (1, 2):
+            raise SingularSystemError(
+                f"rhs must be a vector or a column matrix, got ndim={b.ndim}"
+            )
         if b.shape[0] != self.n:
             raise SingularSystemError(
                 f"rhs has {b.shape[0]} entries, system has {self.n}"
             )
+        if b.ndim == 2 and b.shape[1] == 0:
+            return np.empty_like(b)
         x = self._lu.solve(b)
         if not np.all(np.isfinite(x)):
             raise SingularSystemError(

@@ -1,0 +1,24 @@
+"""Scenario sweeps: specifications and generators for multi-corner runs.
+
+The heavy lifting (shared-factorization batched solving) lives in
+:mod:`repro.core.batch`; this package only describes *what* to sweep.
+"""
+
+from repro.scenarios.spec import Scenario, ScenarioSet
+from repro.scenarios.sweeps import (
+    cartesian_sweep,
+    combine,
+    load_corner_sweep,
+    pad_current_sweep,
+    tsv_design_sweep,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioSet",
+    "cartesian_sweep",
+    "combine",
+    "load_corner_sweep",
+    "pad_current_sweep",
+    "tsv_design_sweep",
+]

@@ -1,0 +1,164 @@
+"""Scenario specifications for multi-corner 3-D power-grid analysis.
+
+A *scenario* is one what-if point of a sweep: a load corner (per-tier
+activity multipliers), a rail-current scaling, a TSV design point, or any
+combination.  Crucially, every knob a :class:`Scenario` exposes leaves
+the per-tier plane matrices untouched:
+
+* load and pad-current scalings only move the plane right-hand sides;
+* TSV segment resistances never enter the plane solves at all (the
+  paper's "a resistance should not be processed twice" rule) -- they act
+  in the propagation phase.
+
+That invariant is what lets the batched engine
+(:class:`repro.core.batch.BatchedVPSolver`) solve a whole
+:class:`ScenarioSet` against one shared set of plane factorizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GridError, ReproError
+from repro.grid.loads import scale_loads
+from repro.grid.stack3d import PillarSet, PowerGridStack
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One design/operating point of a sweep.
+
+    Parameters
+    ----------
+    name:
+        Unique label used in reports and result lookups.
+    load_scale:
+        Multiplier on every tier's device currents: a scalar (global
+        corner / pad-current scaling -- the total current delivered
+        through the package pins scales by the same factor) or a
+        per-tier tuple (activity corners).
+    r_tsv_scale:
+        Multiplier on every TSV segment resistance (a TSV process/design
+        point).  Must be positive.
+    """
+
+    name: str
+    load_scale: float | tuple[float, ...] = 1.0
+    r_tsv_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("scenario needs a non-empty name")
+        scales = np.atleast_1d(np.asarray(self.load_scale, dtype=float))
+        if np.any(scales < 0):
+            raise ReproError(f"scenario {self.name!r}: load_scale must be >= 0")
+        if self.r_tsv_scale <= 0:
+            raise ReproError(f"scenario {self.name!r}: r_tsv_scale must be > 0")
+
+    def tier_scales(self, n_tiers: int) -> np.ndarray:
+        """Per-tier load multipliers, broadcast to ``(n_tiers,)``."""
+        scales = np.atleast_1d(np.asarray(self.load_scale, dtype=float))
+        if scales.size == 1:
+            return np.full(n_tiers, float(scales[0]))
+        if scales.size != n_tiers:
+            raise GridError(
+                f"scenario {self.name!r}: {scales.size} per-tier load "
+                f"scales for a {n_tiers}-tier stack"
+            )
+        return scales
+
+    def apply(self, stack: PowerGridStack) -> PowerGridStack:
+        """Materialize this scenario as a standalone stack copy.
+
+        This is the reference path for the sequential baseline and for
+        parity checks against the batched engine.
+        """
+        scales = self.tier_scales(stack.n_tiers)
+        tiers = [tier.copy() for tier in stack.tiers]
+        for tier, scale in zip(tiers, scales):
+            tier.loads = scale_loads(tier.loads, scale)
+        pillars = PillarSet(
+            positions=stack.pillars.positions.copy(),
+            r_seg=stack.pillars.r_seg * self.r_tsv_scale,
+            v_pin=stack.pillars.v_pin,
+            has_pin=stack.pillars.has_pin.copy(),
+        )
+        name = f"{stack.name}/{self.name}" if stack.name else self.name
+        return PowerGridStack(tiers=tiers, pillars=pillars, name=name, net=stack.net)
+
+    def describe(self) -> dict:
+        """Flat record for CSV/JSON reports."""
+        scales = np.atleast_1d(np.asarray(self.load_scale, dtype=float))
+        return {
+            "scenario": self.name,
+            "load_scale": (
+                float(scales[0]) if scales.size == 1
+                else "x".join(f"{s:g}" for s in scales)
+            ),
+            "r_tsv_scale": float(self.r_tsv_scale),
+        }
+
+
+class ScenarioSet(Sequence):
+    """A validated, ordered collection of scenarios sharing one topology.
+
+    All scenarios of a set are solvable against the same grid structure
+    (same tiers, TSV positions, pin map); only right-hand sides and TSV
+    segment resistances differ, which is exactly the contract the
+    batched engine needs.
+    """
+
+    def __init__(self, scenarios: Iterable[Scenario]):
+        self.scenarios: tuple[Scenario, ...] = tuple(scenarios)
+        if not self.scenarios:
+            raise ReproError("a scenario set needs at least one scenario")
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ReproError(f"duplicate scenario names: {duplicates}")
+
+    @classmethod
+    def ensure(cls, obj) -> "ScenarioSet":
+        """Coerce a ScenarioSet, a single Scenario, or an iterable."""
+        if isinstance(obj, cls):
+            return obj
+        if isinstance(obj, Scenario):
+            return cls([obj])
+        return cls(obj)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __getitem__(self, index):
+        return self.scenarios[index]
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    @property
+    def names(self) -> list[str]:
+        return [s.name for s in self.scenarios]
+
+    def index_of(self, name: str) -> int:
+        for k, scenario in enumerate(self.scenarios):
+            if scenario.name == name:
+                return k
+        raise ReproError(f"no scenario named {name!r}")
+
+    # ------------------------------------------------------------------
+    def load_scale_matrix(self, n_tiers: int) -> np.ndarray:
+        """``(T, S)`` per-tier load multipliers, one column per scenario."""
+        return np.column_stack(
+            [s.tier_scales(n_tiers) for s in self.scenarios]
+        )
+
+    def r_scale_vector(self) -> np.ndarray:
+        """``(S,)`` TSV-resistance multipliers."""
+        return np.array([s.r_tsv_scale for s in self.scenarios], dtype=float)
+
+    def describe(self) -> list[dict]:
+        return [s.describe() for s in self.scenarios]

@@ -1,0 +1,121 @@
+"""Sweep generators: families of scenarios for common design questions.
+
+Three families cover the sweeps the paper's method is repeatedly run
+for in practice:
+
+* :func:`pad_current_sweep` -- global rail-current corners (every tier's
+  loads, and therefore the total current drawn through the package
+  pins/pads, scale together);
+* :func:`load_corner_sweep` -- per-tier activity corners (the cartesian
+  product of activity levels across tiers, e.g. "memory tier idle, logic
+  tier at turbo");
+* :func:`tsv_design_sweep` -- TSV resistance design points (via/liner
+  process choices scale every segment resistance).
+
+:func:`cartesian_sweep` crosses families into a full design grid.  All
+generators return plain scenario lists; wrap them in a
+:class:`~repro.scenarios.spec.ScenarioSet` (or hand them straight to the
+batched engine, which does so itself).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.scenarios.spec import Scenario
+
+
+def _format_scale(value: float) -> str:
+    return f"{value:g}"
+
+
+def pad_current_sweep(
+    scales: Sequence[float] = (0.5, 1.0, 1.5),
+    prefix: str = "iload",
+) -> list[Scenario]:
+    """Global current corners: every tier's loads (hence the pad/pin
+    current) scaled by each factor."""
+    if not scales:
+        raise ReproError("pad_current_sweep needs at least one scale")
+    return [
+        Scenario(name=f"{prefix}-x{_format_scale(s)}", load_scale=float(s))
+        for s in scales
+    ]
+
+
+def load_corner_sweep(
+    n_tiers: int,
+    levels: Sequence[float] = (0.7, 1.3),
+    prefix: str = "corner",
+) -> list[Scenario]:
+    """Per-tier activity corners: the cartesian product of ``levels``
+    across tiers (``len(levels) ** n_tiers`` scenarios)."""
+    if n_tiers < 1:
+        raise ReproError("load_corner_sweep needs n_tiers >= 1")
+    if not levels:
+        raise ReproError("load_corner_sweep needs at least one level")
+    out = []
+    for combo in product(levels, repeat=n_tiers):
+        label = "-".join(_format_scale(v) for v in combo)
+        out.append(
+            Scenario(
+                name=f"{prefix}-{label}",
+                load_scale=tuple(float(v) for v in combo),
+            )
+        )
+    return out
+
+
+def tsv_design_sweep(
+    r_scales: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    prefix: str = "rtsv",
+) -> list[Scenario]:
+    """TSV-resistance design points: every segment resistance scaled by
+    each factor (the paper's 0.05-ohm via is the x1 point)."""
+    if not r_scales:
+        raise ReproError("tsv_design_sweep needs at least one scale")
+    return [
+        Scenario(name=f"{prefix}-x{_format_scale(r)}", r_tsv_scale=float(r))
+        for r in r_scales
+    ]
+
+
+def combine(a: Scenario, b: Scenario, sep: str = "+") -> Scenario:
+    """Compose two scenarios: load scales multiply (per-tier aware) and
+    TSV scales multiply."""
+    scale_a, scale_b = a.load_scale, b.load_scale
+    if isinstance(scale_a, tuple) or isinstance(scale_b, tuple):
+        tup_a = scale_a if isinstance(scale_a, tuple) else None
+        tup_b = scale_b if isinstance(scale_b, tuple) else None
+        if tup_a is not None and tup_b is not None:
+            if len(tup_a) != len(tup_b):
+                raise ReproError(
+                    f"cannot combine per-tier scales of lengths "
+                    f"{len(tup_a)} and {len(tup_b)}"
+                )
+            load_scale = tuple(x * y for x, y in zip(tup_a, tup_b))
+        elif tup_a is not None:
+            load_scale = tuple(x * float(scale_b) for x in tup_a)
+        else:
+            load_scale = tuple(float(scale_a) * y for y in tup_b)
+    else:
+        load_scale = float(scale_a) * float(scale_b)
+    return Scenario(
+        name=f"{a.name}{sep}{b.name}",
+        load_scale=load_scale,
+        r_tsv_scale=a.r_tsv_scale * b.r_tsv_scale,
+    )
+
+
+def cartesian_sweep(*families: Iterable[Scenario]) -> list[Scenario]:
+    """Cross several scenario families into one design grid (scales
+    compose multiplicatively; names join with ``+``)."""
+    families = [list(f) for f in families if f]
+    if not families:
+        raise ReproError("cartesian_sweep needs at least one family")
+    grid = families[0]
+    for family in families[1:]:
+        grid = [combine(a, b) for a in grid for b in family]
+    return grid

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.dualnet import (
-    SupplyReport,
     matched_gnd_stack,
     solve_supply_pair,
 )

@@ -1,0 +1,82 @@
+"""Tests for the sweep benchmark harness and report writers."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+
+from repro.bench.reporting import write_csv, write_json
+from repro.bench.sweeps import SWEEP_HEADERS, run_sweep
+from repro.core.batch import BatchedVPConfig
+from repro.scenarios import pad_current_sweep, tsv_design_sweep, cartesian_sweep
+
+
+def small_sweep():
+    return cartesian_sweep(
+        pad_current_sweep((0.5, 1.0)), tsv_design_sweep((1.0, 2.0))
+    )
+
+
+class TestRunSweep:
+    def test_report_outcomes(self, small_stack):
+        report = run_sweep(small_stack, small_sweep())
+        assert report.n_scenarios == 4
+        assert all(o.converged for o in report.outcomes)
+        assert report.batched_seconds > 0
+        assert report.sequential_seconds is None
+        assert report.speedup is None
+        table = report.table()
+        assert "scenario" in table
+        assert len(table.splitlines()) == 2 + 4
+
+    def test_compare_sequential_parity(self, small_stack):
+        report = run_sweep(
+            small_stack, small_sweep(), compare_sequential=True
+        )
+        assert report.sequential_seconds is not None
+        assert report.speedup is not None and report.speedup > 0
+        assert report.max_parity_error <= 1e-5
+        assert "speedup" in report.summary()
+
+    def test_csv_and_json_outputs(self, small_stack, tmp_path):
+        report = run_sweep(small_stack, small_sweep())
+        csv_path = tmp_path / "report.csv"
+        json_path = tmp_path / "report.json"
+        report.to_csv(csv_path)
+        report.to_json(json_path)
+        with csv_path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == SWEEP_HEADERS
+        assert len(rows) == 5
+        payload = json.loads(json_path.read_text())
+        assert payload["n_scenarios"] == 4
+        assert {r["scenario"] for r in payload["scenarios"]} == {
+            o.scenario for o in report.outcomes
+        }
+
+    def test_config_passed_through(self, small_stack):
+        report = run_sweep(
+            small_stack,
+            small_sweep(),
+            BatchedVPConfig(vda="anderson", v0_init="loadshare"),
+            compare_sequential=True,
+        )
+        assert report.max_parity_error <= 1e-5
+
+
+class TestWriters:
+    def test_write_csv_unwraps_numpy(self, tmp_path):
+        path = write_csv(
+            tmp_path / "t.csv", ["a", "b"], [[np.float64(1.5), np.int64(2)]]
+        )
+        assert path.read_text().splitlines() == ["a,b", "1.5,2"]
+
+    def test_write_json_handles_arrays(self, tmp_path):
+        path = write_json(
+            tmp_path / "t.json",
+            {"values": np.arange(3), "nested": [{"x": np.float64(0.5)}]},
+        )
+        payload = json.loads(path.read_text())
+        assert payload == {"values": [0, 1, 2], "nested": [{"x": 0.5}]}

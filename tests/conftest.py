@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.grid.generators import synthesize_stack, uniform_tsv_positions
+from repro.grid.generators import synthesize_stack
 from repro.grid.grid2d import Grid2D
 from repro.grid.pads import place_pads
 

@@ -1,0 +1,319 @@
+"""Tests for the batched multi-scenario VP engine.
+
+The central property: every scenario column of a batched solve matches
+the standalone ``solve_vp(scenario.apply(stack), inner="direct")``
+solution to well within the inner tolerance, including when scenarios
+retire at different outer iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    BatchedVPConfig,
+    BatchedVPSolver,
+    solve_vp_batch,
+)
+from repro.core.vp import VPConfig, VoltagePropagationSolver, solve_vp
+from repro.errors import ConvergenceError, GridError, ReproError
+from repro.grid.conductance import stack_system
+from repro.linalg.direct import solve_direct
+from repro.scenarios import (
+    Scenario,
+    cartesian_sweep,
+    load_corner_sweep,
+    pad_current_sweep,
+    tsv_design_sweep,
+)
+
+INNER_TOL = 1e-5
+
+
+def mixed_sweep():
+    """Load corners crossed with TSV design points -- scenarios that
+    converge at very different rates."""
+    return cartesian_sweep(
+        pad_current_sweep((0.5, 1.0, 1.5)), tsv_design_sweep((1.0, 4.0))
+    )
+
+
+class TestConfig:
+    def test_bad_tol(self):
+        with pytest.raises(ReproError):
+            BatchedVPConfig(outer_tol=0.0)
+
+    def test_bad_max_outer(self):
+        with pytest.raises(ReproError):
+            BatchedVPConfig(max_outer=0)
+
+    def test_bad_v0_init(self):
+        with pytest.raises(ReproError):
+            BatchedVPConfig(v0_init="warm")
+
+
+class TestParity:
+    """Batched columns must reproduce per-scenario solve_vp solutions."""
+
+    def test_matches_sequential_on_three_tier_grid(self, medium_stack):
+        scenarios = mixed_sweep()
+        batch = solve_vp_batch(medium_stack, scenarios)
+        assert batch.converged.all()
+        for k, scenario in enumerate(scenarios):
+            seq = solve_vp(scenario.apply(medium_stack), inner="direct")
+            assert seq.converged
+            error = np.max(
+                np.abs(batch.scenario_voltages(k) - seq.voltages)
+            )
+            assert error <= INNER_TOL, (
+                f"{scenario.name}: batched/sequential mismatch {error:.3e} V"
+            )
+
+    def test_iteration_lockstep(self, medium_stack):
+        """Column s takes exactly the iteration count a standalone solve
+        of scenario s takes (the batch is the same math, vectorized)."""
+        scenarios = mixed_sweep()
+        batch = solve_vp_batch(medium_stack, scenarios)
+        for k, scenario in enumerate(scenarios):
+            seq = solve_vp(scenario.apply(medium_stack), inner="direct")
+            assert batch.outer_iterations[k] == seq.outer_iterations
+
+    def test_matches_assembled_3d_system(self, medium_stack):
+        """Each scenario column solves its scenario's full 3-D system."""
+        scenarios = [
+            Scenario("nominal"),
+            Scenario("hot", load_scale=1.5, r_tsv_scale=2.0),
+        ]
+        batch = solve_vp_batch(medium_stack, scenarios)
+        for k, scenario in enumerate(scenarios):
+            applied = scenario.apply(medium_stack)
+            matrix, rhs = stack_system(applied)
+            expected = solve_direct(matrix, rhs).reshape(
+                applied.n_tiers, applied.rows, applied.cols
+            )
+            assert np.max(
+                np.abs(batch.scenario_voltages(k) - expected)
+            ) < 0.5e-3
+
+    def test_single_scenario_batch_matches_solver(self, medium_stack):
+        batch = solve_vp_batch(medium_stack, [Scenario("nominal")])
+        seq = solve_vp(medium_stack, inner="direct")
+        assert batch.n_scenarios == 1
+        np.testing.assert_allclose(
+            batch.scenario_voltages(0), seq.voltages, atol=1e-12
+        )
+
+    @pytest.mark.parametrize("vda", ["fixed", "adaptive", "secant", "anderson"])
+    def test_vda_policies(self, medium_stack, vda):
+        scenarios = pad_current_sweep((0.5, 1.5))
+        batch = solve_vp_batch(medium_stack, scenarios, vda=vda)
+        assert batch.converged.all()
+        for k, scenario in enumerate(scenarios):
+            seq = solve_vp(scenario.apply(medium_stack), inner="direct", vda=vda)
+            assert np.max(
+                np.abs(batch.scenario_voltages(k) - seq.voltages)
+            ) <= INNER_TOL
+
+    def test_auto_policy_parity_on_mixed_stiffness(self, medium_stack):
+        """'auto' resolves per scenario column: a sweep mixing healthy
+        and stiff TSV design points must still match what each standalone
+        solve (which picks adaptive or Anderson per its own gain bound)
+        produces."""
+        scenarios = tsv_design_sweep((0.5, 1.0, 50.0))
+        batch = solve_vp_batch(medium_stack, scenarios, max_outer=400)
+        assert batch.converged.all()
+        for k, scenario in enumerate(scenarios):
+            seq = solve_vp(
+                scenario.apply(medium_stack), inner="direct", max_outer=400
+            )
+            assert batch.outer_iterations[k] == seq.outer_iterations
+            assert np.max(
+                np.abs(batch.scenario_voltages(k) - seq.voltages)
+            ) <= INNER_TOL
+
+    def test_loadshare_init_parity(self, medium_stack):
+        scenarios = mixed_sweep()
+        batch = solve_vp_batch(
+            medium_stack, scenarios, v0_init="loadshare"
+        )
+        assert batch.converged.all()
+        for k, scenario in enumerate(scenarios):
+            seq = solve_vp(
+                scenario.apply(medium_stack), inner="direct",
+                v0_init="loadshare",
+            )
+            assert np.max(
+                np.abs(batch.scenario_voltages(k) - seq.voltages)
+            ) <= INNER_TOL
+
+    def test_pin_subset_stack(self, pinsubset_stack):
+        from repro.core.vda import AndersonVDA
+
+        scenarios = pad_current_sweep((0.8, 1.2))
+        batch = solve_vp_batch(
+            pinsubset_stack, scenarios, vda="anderson",
+            outer_tol=2e-5, max_outer=400,
+        )
+        assert batch.converged.all()
+        for k, scenario in enumerate(scenarios):
+            seq = solve_vp(
+                scenario.apply(pinsubset_stack), inner="direct",
+                vda=AndersonVDA(m=4), outer_tol=2e-5, max_outer=400,
+            )
+            assert np.max(
+                np.abs(batch.scenario_voltages(k) - seq.voltages)
+            ) <= INNER_TOL
+
+
+class TestEarlyRetirement:
+    def test_scenarios_retire_at_different_iterations(self, medium_stack):
+        """Stiff TSV corners need more outer iterations than mild load
+        corners; retired columns must keep their converged state."""
+        scenarios = mixed_sweep()
+        batch = solve_vp_batch(medium_stack, scenarios)
+        assert batch.converged.all()
+        retire = batch.outer_iterations
+        assert retire.min() < retire.max(), (
+            "sweep should mix fast and slow scenarios"
+        )
+        # The engine only back-substitutes still-active columns: total
+        # column solves equal the sum of per-scenario retirement
+        # iterations, not n_scenarios * max iterations.
+        assert batch.stats.column_solves == int(retire.sum())
+        assert batch.stats.column_solves < len(scenarios) * int(retire.max())
+
+    def test_history_tracks_active_counts(self, medium_stack):
+        scenarios = mixed_sweep()
+        batch = solve_vp_batch(medium_stack, scenarios)
+        counts = [record.active_scenarios for record in batch.history]
+        assert counts[0] >= counts[-1]
+        assert counts[-1] == 0
+        assert len(batch.history) == int(batch.outer_iterations.max())
+
+    def test_retired_voltages_frozen_at_convergence(self, medium_stack):
+        """A column retired early equals its own standalone solution even
+        though the batch kept iterating other columns afterwards."""
+        scenarios = mixed_sweep()
+        batch = solve_vp_batch(medium_stack, scenarios)
+        fastest = int(np.argmin(batch.outer_iterations))
+        seq = solve_vp(
+            scenarios[fastest].apply(medium_stack), inner="direct"
+        )
+        assert batch.outer_iterations[fastest] < batch.outer_iterations.max()
+        assert np.max(
+            np.abs(batch.scenario_voltages(fastest) - seq.voltages)
+        ) <= INNER_TOL
+        assert batch.max_vdiff[fastest] <= 1e-4
+
+    def test_max_outer_leaves_stragglers_unconverged(self, medium_stack):
+        scenarios = cartesian_sweep(
+            pad_current_sweep((1.0,)), tsv_design_sweep((1.0, 8.0))
+        )
+        batch = solve_vp_batch(
+            medium_stack, scenarios, max_outer=2, outer_tol=1e-9
+        )
+        assert not batch.converged.all()
+        # Unconverged columns still carry their last field, not the init.
+        worst = int(np.argmax(batch.max_vdiff))
+        field = batch.scenario_voltages(worst)
+        assert not np.allclose(field, medium_stack.v_pin)
+
+    def test_raise_on_divergence(self, medium_stack):
+        with pytest.raises(ConvergenceError):
+            solve_vp_batch(
+                medium_stack, [Scenario("hard", r_tsv_scale=8.0)],
+                max_outer=1, outer_tol=1e-12, raise_on_divergence=True,
+            )
+
+
+class TestResultApi:
+    def test_scenario_lookup(self, small_stack):
+        scenarios = pad_current_sweep((0.5, 1.0))
+        batch = solve_vp_batch(small_stack, scenarios)
+        by_name = batch.scenario_voltages(scenarios[1].name)
+        by_index = batch.scenario_voltages(1)
+        np.testing.assert_array_equal(by_name, by_index)
+        with pytest.raises(ReproError):
+            batch.scenario_index("missing")
+
+    def test_worst_ir_drop_per_scenario(self, small_stack):
+        scenarios = pad_current_sweep((0.5, 1.0))
+        batch = solve_vp_batch(small_stack, scenarios)
+        drops = batch.worst_ir_drop()
+        assert drops.shape == (2,)
+        # Drops scale with the load corner on a linear network.
+        assert drops[0] < drops[1]
+
+    def test_voltage_shape(self, small_stack):
+        scenarios = pad_current_sweep((0.5, 1.0, 1.5))
+        batch = solve_vp_batch(small_stack, scenarios)
+        assert batch.voltages.shape == (
+            small_stack.n_tiers, small_stack.rows, small_stack.cols, 3
+        )
+
+    def test_v0_seed_shapes(self, small_stack):
+        scenarios = pad_current_sweep((0.5, 1.0))
+        solver = BatchedVPSolver(small_stack, scenarios)
+        n_pillars = small_stack.pillars.count
+        result = solver.solve(v0=np.full(n_pillars, small_stack.v_pin))
+        assert result.converged.all()
+        with pytest.raises(GridError):
+            solver.solve(v0=np.ones(3))
+
+    def test_stats_populated(self, small_stack):
+        batch = solve_vp_batch(small_stack, pad_current_sweep((0.5, 1.0)))
+        stats = batch.stats
+        assert stats.solve_seconds > 0
+        assert stats.memory_bytes > 0
+        assert stats.column_solves >= int(batch.outer_iterations.sum())
+        assert set(stats.phase_seconds) == {"cvn", "tsv", "propagate", "vda"}
+
+
+class TestSolverReuse:
+    def test_shared_factorization_across_tiers(self, medium_stack):
+        """Replicated tiers share one factorization object."""
+        solver = BatchedVPSolver(medium_stack, pad_current_sweep((1.0,)))
+        assert solver.planes.a_ff[0] is solver.planes.a_ff[1]
+        assert solver.planes.a_ff[0] is solver.planes.a_ff[2]
+
+    def test_solver_reusable(self, small_stack):
+        solver = BatchedVPSolver(small_stack, pad_current_sweep((0.5, 1.0)))
+        first = solver.solve()
+        second = solver.solve()
+        np.testing.assert_allclose(first.voltages, second.voltages)
+
+    def test_single_scenario_is_special_case_of_vp(self, medium_stack):
+        """The single-scenario solver and a batch of one drive the same
+        ReducedPlaneSystem kernel."""
+        vp = VoltagePropagationSolver(medium_stack, VPConfig(inner="direct"))
+        batch = BatchedVPSolver(medium_stack, [Scenario("nominal")])
+        assert type(vp._reduced) is type(batch.planes)
+        assert vp._reduced.factorized and batch.planes.factorized
+
+
+class TestCornerSweeps:
+    def test_per_tier_corners(self, small_stack):
+        scenarios = load_corner_sweep(small_stack.n_tiers, (0.6, 1.4))
+        batch = solve_vp_batch(small_stack, scenarios)
+        assert batch.converged.all()
+        for k in (0, len(scenarios) - 1):
+            seq = solve_vp(
+                scenarios[k].apply(small_stack), inner="direct"
+            )
+            assert np.max(
+                np.abs(batch.scenario_voltages(k) - seq.voltages)
+            ) <= INNER_TOL
+
+    def test_ground_net(self):
+        from repro.grid.generators import synthesize_stack
+
+        stack = synthesize_stack(10, 10, 3, net="gnd", rng=2)
+        scenarios = pad_current_sweep((0.5, 1.5))
+        batch = solve_vp_batch(stack, scenarios)
+        assert batch.converged.all()
+        for k, scenario in enumerate(scenarios):
+            seq = solve_vp(scenario.apply(stack), inner="direct")
+            assert np.max(
+                np.abs(batch.scenario_voltages(k) - seq.voltages)
+            ) <= INNER_TOL

@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import GridError, ReproError
 from repro.grid.conductance import grid2d_matrix
-from repro.grid.generators import synthesize_tier, uniform_tsv_positions
+from repro.grid.generators import uniform_tsv_positions
 from repro.grid.grid2d import Grid2D
 from repro.grid.pads import place_pads
 from repro.grid.perturb import perturb_conductances

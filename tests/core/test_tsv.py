@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.grid.conductance import grid2d_matrix, grid2d_system
-from repro.grid.generators import synthesize_stack
 from repro.core.tsv import (
     pillar_drawn_currents,
     plane_kcl_residual,

@@ -201,7 +201,6 @@ class TestConvergenceBehaviour:
             )
 
     def test_custom_v0_seed(self, medium_stack):
-        n_pillars = medium_stack.pillars.count
         solver = VoltagePropagationSolver(medium_stack)
         good_seed = solver.solve().pillar_v0
         reseeded = solver.solve(v0=good_seed)

@@ -8,8 +8,6 @@ import pytest
 from repro.errors import GridError, ReproError
 from repro.grid.conductance import stack_system
 from repro.grid.generators import synthesize_stack
-from repro.grid.grid2d import Grid2D
-from repro.grid.pads import place_pads
 from repro.linalg.direct import solve_direct
 from repro.linalg.random_walk import RandomWalkSolver, WalkModel
 

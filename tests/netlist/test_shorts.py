@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import NetlistError
-from repro.netlist.elements import CurrentSource, Netlist, Resistor, VoltageSource
 from repro.netlist.parser import parse_netlist
 from repro.netlist.shorts import UnionFind, merge_shorts
 

@@ -1,0 +1,154 @@
+"""Tests for scenario specifications and sweep generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError, ReproError
+from repro.scenarios import (
+    Scenario,
+    ScenarioSet,
+    cartesian_sweep,
+    combine,
+    load_corner_sweep,
+    pad_current_sweep,
+    tsv_design_sweep,
+)
+
+
+class TestScenario:
+    def test_defaults_are_identity(self, small_stack):
+        scenario = Scenario("nominal")
+        applied = scenario.apply(small_stack)
+        for tier, base in zip(applied.tiers, small_stack.tiers):
+            np.testing.assert_array_equal(tier.loads, base.loads)
+        np.testing.assert_array_equal(
+            applied.pillars.r_seg, small_stack.pillars.r_seg
+        )
+
+    def test_global_load_scale(self, small_stack):
+        applied = Scenario("hot", load_scale=1.5).apply(small_stack)
+        for tier, base in zip(applied.tiers, small_stack.tiers):
+            np.testing.assert_allclose(tier.loads, base.loads * 1.5)
+
+    def test_per_tier_load_scale(self, small_stack):
+        applied = Scenario(
+            "mixed", load_scale=(0.5, 1.0, 2.0)
+        ).apply(small_stack)
+        for k, (tier, base) in enumerate(zip(applied.tiers, small_stack.tiers)):
+            np.testing.assert_allclose(
+                tier.loads, base.loads * (0.5, 1.0, 2.0)[k]
+            )
+
+    def test_per_tier_scale_count_checked(self, small_stack):
+        with pytest.raises(GridError):
+            Scenario("bad", load_scale=(1.0, 2.0)).apply(small_stack)
+
+    def test_r_tsv_scale(self, small_stack):
+        applied = Scenario("stiff", r_tsv_scale=4.0).apply(small_stack)
+        np.testing.assert_allclose(
+            applied.pillars.r_seg, small_stack.pillars.r_seg * 4.0
+        )
+
+    def test_apply_preserves_keepout(self, small_stack):
+        applied = Scenario("hot", load_scale=2.0).apply(small_stack)
+        assert applied.keepout_violations() == 0
+
+    def test_apply_does_not_mutate_base(self, small_stack):
+        before = [tier.loads.copy() for tier in small_stack.tiers]
+        Scenario("hot", load_scale=3.0).apply(small_stack)
+        for tier, loads in zip(small_stack.tiers, before):
+            np.testing.assert_array_equal(tier.loads, loads)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            Scenario("")
+        with pytest.raises(ReproError):
+            Scenario("neg", load_scale=-1.0)
+        with pytest.raises(ReproError):
+            Scenario("zero-r", r_tsv_scale=0.0)
+
+
+class TestScenarioSet:
+    def test_unique_names_enforced(self):
+        with pytest.raises(ReproError):
+            ScenarioSet([Scenario("a"), Scenario("a")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ScenarioSet([])
+
+    def test_ensure_coerces(self):
+        single = ScenarioSet.ensure(Scenario("one"))
+        assert len(single) == 1
+        again = ScenarioSet.ensure(single)
+        assert again is single
+
+    def test_matrices(self):
+        scenarios = ScenarioSet(
+            [
+                Scenario("a", load_scale=2.0, r_tsv_scale=3.0),
+                Scenario("b", load_scale=(1.0, 0.5, 0.25)),
+            ]
+        )
+        scales = scenarios.load_scale_matrix(3)
+        np.testing.assert_allclose(scales[:, 0], 2.0)
+        np.testing.assert_allclose(scales[:, 1], (1.0, 0.5, 0.25))
+        np.testing.assert_allclose(scenarios.r_scale_vector(), (3.0, 1.0))
+
+    def test_index_of(self):
+        scenarios = ScenarioSet([Scenario("a"), Scenario("b")])
+        assert scenarios.index_of("b") == 1
+        with pytest.raises(ReproError):
+            scenarios.index_of("zz")
+
+
+class TestSweepGenerators:
+    def test_pad_current_sweep(self):
+        scenarios = pad_current_sweep((0.5, 1.0))
+        assert [s.load_scale for s in scenarios] == [0.5, 1.0]
+        assert len({s.name for s in scenarios}) == 2
+
+    def test_load_corner_sweep_cartesian(self):
+        scenarios = load_corner_sweep(3, (0.7, 1.3))
+        assert len(scenarios) == 8
+        assert all(len(s.load_scale) == 3 for s in scenarios)
+        assert len({s.name for s in scenarios}) == 8
+
+    def test_tsv_design_sweep(self):
+        scenarios = tsv_design_sweep((0.5, 2.0))
+        assert [s.r_tsv_scale for s in scenarios] == [0.5, 2.0]
+
+    def test_cartesian_sweep_composes(self):
+        grid = cartesian_sweep(
+            pad_current_sweep((0.5, 1.0)), tsv_design_sweep((1.0, 2.0))
+        )
+        assert len(grid) == 4
+        ScenarioSet(grid)  # names stay unique
+        stiff = [s for s in grid if s.r_tsv_scale == 2.0]
+        assert {s.load_scale for s in stiff} == {0.5, 1.0}
+
+    def test_combine_per_tier(self):
+        a = Scenario("a", load_scale=(1.0, 2.0))
+        b = Scenario("b", load_scale=0.5, r_tsv_scale=2.0)
+        c = combine(a, b)
+        assert c.load_scale == (0.5, 1.0)
+        assert c.r_tsv_scale == 2.0
+
+    def test_combine_mismatched_tiers_rejected(self):
+        with pytest.raises(ReproError):
+            combine(
+                Scenario("a", load_scale=(1.0, 2.0)),
+                Scenario("b", load_scale=(1.0, 2.0, 3.0)),
+            )
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            pad_current_sweep(())
+        with pytest.raises(ReproError):
+            load_corner_sweep(0)
+        with pytest.raises(ReproError):
+            tsv_design_sweep(())
+        with pytest.raises(ReproError):
+            cartesian_sweep()

@@ -92,6 +92,47 @@ class TestExperimentCommands:
         assert "worst droop" in capsys.readouterr().out
 
 
+class TestSweep:
+    def test_sweep_prints_table_and_writes_reports(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        json_path = tmp_path / "sweep.json"
+        assert run_cli(
+            "sweep", "--side", "10", "--load-scales", "0.5,1.0",
+            "--r-tsv-scales", "1,2",
+            "--csv", str(csv_path), "--json", str(json_path),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenario" in out and "worst_drop_mV" in out
+        assert "4 scenarios" in out
+        lines = csv_path.read_text().strip().splitlines()
+        assert len(lines) == 5  # header + 4 scenarios
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["n_scenarios"] == 4
+        assert len(payload["scenarios"]) == 4
+
+    def test_sweep_compare_sequential_reports_speedup(self, capsys):
+        assert run_cli(
+            "sweep", "--side", "10", "--load-scales", "0.5,1.5",
+            "--compare-sequential",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "parity" in out
+
+    def test_sweep_corner_levels(self, capsys):
+        assert run_cli(
+            "sweep", "--side", "8", "--tiers", "2",
+            "--corner-levels", "0.7,1.3",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "corner-" in out
+
+    def test_sweep_bad_scales(self, capsys):
+        assert run_cli("sweep", "--side", "8", "--load-scales", "abc") == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_missing_subcommand_exits(self):
         with pytest.raises(SystemExit):
