@@ -8,15 +8,33 @@ node counts (30 K / 90 K / 230 K); set ``REPRO_BENCH_FULL=1`` to add C3
 Heavy end-to-end benchmarks use a single measured round by default
 (``REPRO_BENCH_ROUNDS`` overrides); statistical repetition belongs to the
 microbenches in ``test_components.py``.
+
+Every test that uses the ``benchmark`` fixture also emits a
+machine-readable ``BENCH_<test_name>.json`` (timings plus
+``extra_info``) into ``REPRO_BENCH_JSON_DIR`` (default
+``bench-artifacts/``), so the perf trajectory is tracked across PRs --
+CI uploads these as artifacts.  Format documented in the README.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.bench.circuits import build_circuit
+from repro.bench.reporting import _jsonable
+
+BENCH_JSON_DIR_ENV = "REPRO_BENCH_JSON_DIR"
+BENCH_JSON_DEFAULT_DIR = "bench-artifacts"
+
+_TIMING_FIELDS = (
+    "min", "max", "mean", "stddev", "median", "iqr", "rounds", "total",
+)
 
 
 def heavy_rounds() -> int:
@@ -34,6 +52,50 @@ def circuit_cache():
         return cache[name]
 
     return get
+
+
+@pytest.fixture(autouse=True)
+def emit_bench_json(request):
+    """Write ``BENCH_<test_name>.json`` after every benchmarked test.
+
+    Payload: the test's identity, wall-clock timing statistics (seconds),
+    and whatever the test put into ``benchmark.extra_info`` (speedups,
+    parity errors, scenario counts, ...).
+    """
+    # Resolve the benchmark fixture during setup so this fixture tears
+    # down first (stats are recorded in the test body and must still be
+    # alive here).
+    fixture = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    yield
+    if fixture is None:
+        return
+    meta = getattr(fixture, "stats", None)
+    if meta is None:  # benchmark fixture requested but never run
+        return
+    stats = getattr(meta, "stats", meta)
+    timings = {}
+    for field in _TIMING_FIELDS:
+        value = getattr(stats, field, None)
+        if value is not None:
+            timings[field] = float(value)
+    payload = {
+        "name": request.node.name,
+        "nodeid": request.node.nodeid,
+        "unix_time": time.time(),
+        "timings_seconds": timings,
+        "extra_info": _jsonable(dict(getattr(fixture, "extra_info", {}))),
+    }
+    out_dir = Path(os.environ.get(BENCH_JSON_DIR_ENV, BENCH_JSON_DEFAULT_DIR))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    path = out_dir / f"BENCH_{safe}.json"
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 
 @pytest.fixture

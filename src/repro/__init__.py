@@ -39,8 +39,14 @@ from repro.core import (
 from repro.linalg import cg, solve_direct
 from repro.spice import dc_operating_point, solve_stack_spice
 from repro.analysis import compare_voltages, ir_drop_report
+from repro.stochastic import VariationSpec, run_monte_carlo
 
-__version__ = "1.0.0"
+try:  # single source of truth: the installed package metadata
+    from importlib.metadata import PackageNotFoundError, version
+
+    __version__ = version("repro-vp3d")
+except PackageNotFoundError:  # running from a bare checkout (PYTHONPATH=src)
+    __version__ = "0.0.0+uninstalled"
 
 __all__ = [
     "Grid2D",
@@ -65,5 +71,7 @@ __all__ = [
     "solve_stack_spice",
     "compare_voltages",
     "ir_drop_report",
+    "VariationSpec",
+    "run_monte_carlo",
     "__version__",
 ]

@@ -26,6 +26,7 @@ SWEEP_HEADERS = [
     "scenario",
     "load_scale",
     "r_tsv_scale",
+    "plane_scale",
     "converged",
     "outer_iters",
     "max_vdiff_mV",
@@ -44,12 +45,14 @@ class SweepOutcome:
     outer_iterations: int
     max_vdiff: float
     worst_ir_drop: float
+    plane_scale: object = 1.0
 
     def row(self) -> list:
         return [
             self.scenario,
             self.load_scale,
             self.r_tsv_scale,
+            self.plane_scale,
             "yes" if self.converged else "NO",
             self.outer_iterations,
             f"{self.max_vdiff * 1e3:.4f}",
@@ -106,6 +109,7 @@ class SweepReport:
                 "scenario": o.scenario,
                 "load_scale": o.load_scale,
                 "r_tsv_scale": o.r_tsv_scale,
+                "plane_scale": o.plane_scale,
                 "converged": o.converged,
                 "outer_iterations": o.outer_iterations,
                 "max_vdiff_v": o.max_vdiff,
@@ -120,6 +124,7 @@ class SweepReport:
                 o.scenario,
                 o.load_scale,
                 o.r_tsv_scale,
+                o.plane_scale,
                 o.converged,
                 o.outer_iterations,
                 o.max_vdiff,
@@ -182,6 +187,7 @@ def run_sweep(
                 scenario=scenario.name,
                 load_scale=record["load_scale"],
                 r_tsv_scale=record["r_tsv_scale"],
+                plane_scale=record.get("plane_scale", 1.0),
                 converged=bool(result.converged[k]),
                 outer_iterations=int(result.outer_iterations[k]),
                 max_vdiff=float(result.max_vdiff[k]),

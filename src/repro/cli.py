@@ -8,7 +8,9 @@ Subcommands (all offline, deterministic with ``--seed``):
 * ``repro compare`` -- contest-style diff of two solution files;
 * ``repro table1`` -- regenerate Table I of the paper;
 * ``repro sweep`` -- batched multi-scenario sweep (load corners, rail
-  current, TSV design points) with a CSV/JSON report;
+  current, TSV design points, metal-width corners) with a CSV/JSON report;
+* ``repro mc`` -- Monte Carlo variation analysis (correlated conductance
+  fields, metal-width and TSV spreads) with quantile/violation reports;
 * ``repro sweep-tsv`` -- experiment E6 (GS degradation vs TSV resistance);
 * ``repro rw-trap`` -- experiment E7 (random-walk trap);
 * ``repro transient`` -- experiment E14 (RC transient droop);
@@ -186,6 +188,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.scenarios import (
         cartesian_sweep,
         load_corner_sweep,
+        metal_width_sweep,
         pad_current_sweep,
         tsv_design_sweep,
     )
@@ -208,6 +211,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     r_scales = _parse_floats(args.r_tsv_scales, "--r-tsv-scales")
     if r_scales != [1.0]:
         families.append(tsv_design_sweep(r_scales))
+    width_scales = _parse_floats(args.width_scales, "--width-scales")
+    if width_scales != [1.0]:
+        families.append(metal_width_sweep(width_scales))
     scenarios = cartesian_sweep(*families)
 
     config = BatchedVPConfig(
@@ -225,6 +231,65 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         report.to_json(args.json)
         print(f"wrote {args.json}")
     return 0 if all(o.converged for o in report.outcomes) else 1
+
+
+def cmd_mc(args: argparse.Namespace) -> int:
+    from repro.bench.montecarlo import run_mc_benchmark
+    from repro.stochastic import (
+        MetalWidthVariation,
+        MonteCarloConfig,
+        TSVVariation,
+        VariationSpec,
+        WireFieldVariation,
+    )
+
+    wire = (
+        WireFieldVariation(
+            sigma=args.sigma_wire,
+            corr_length=args.corr_length,
+            kl_rank=args.kl_rank,
+            sigma_pad=args.sigma_pad,
+        )
+        if (args.sigma_wire > 0 or args.sigma_pad > 0)
+        else None
+    )
+    width = (
+        MetalWidthVariation(sigma=args.sigma_width)
+        if args.sigma_width > 0
+        else None
+    )
+    tsv = TSVVariation(sigma=args.sigma_tsv) if args.sigma_tsv > 0 else None
+    if wire is None and width is None and tsv is None:
+        raise ReproError(
+            "nothing varies: set at least one of --sigma-wire, "
+            "--sigma-pad, --sigma-width, --sigma-tsv"
+        )
+    spec = VariationSpec(wire=wire, width=width, tsv=tsv, name="cli-mc")
+
+    stack = _build_stack(args)
+    config = MonteCarloConfig(
+        batch_size=args.batch_size,
+        outer_tol=args.outer_tol,
+        quantiles=tuple(_parse_floats(args.quantiles, "--quantiles")),
+        budget=args.budget,
+    )
+    report = run_mc_benchmark(
+        stack,
+        spec,
+        args.samples,
+        seed=args.seed,
+        config=config,
+        compare_naive=args.compare_naive,
+    )
+    print(report.table())
+    print(report.summary())
+    if args.csv:
+        report.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        report.to_json(args.json)
+        print(f"wrote {args.json}")
+    return 0 if report.result.converged.all() else 1
 
 
 def cmd_sweep_tsv(args: argparse.Namespace) -> int:
@@ -370,6 +435,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated TSV-resistance multipliers (crossed with "
         "the load corners)",
     )
+    p.add_argument(
+        "--width-scales", default="1.0",
+        help="comma-separated metal-width (conductance) multipliers, "
+        "crossed with the other families (scaled-factor fast path)",
+    )
     p.add_argument("--outer-tol", type=float, default=1e-4, help="volts")
     p.add_argument(
         "--vda",
@@ -387,6 +457,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", help="write the per-scenario report as CSV")
     p.add_argument("--json", help="write the full report as JSON")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "mc",
+        help="Monte Carlo variation analysis (factor-reuse engine)",
+    )
+    _add_stack_arguments(p)
+    p.add_argument(
+        "--samples", type=int, default=128, help="Monte Carlo sample count"
+    )
+    p.add_argument(
+        "--sigma-wire", type=float, default=0.0,
+        help="lognormal sigma of per-segment wire-conductance variation "
+        "(changes plane matrices; costs one factorization per sample)",
+    )
+    p.add_argument(
+        "--corr-length", type=float, default=0.0,
+        help="correlation length (nodes) of the wire field; 0 = iid, "
+        ">0 = truncated-KL correlated field",
+    )
+    p.add_argument(
+        "--kl-rank", type=int, default=16,
+        help="modes kept in the truncated KL expansion",
+    )
+    p.add_argument(
+        "--sigma-pad", type=float, default=0.0,
+        help="lognormal sigma on pad conductances",
+    )
+    p.add_argument(
+        "--sigma-width", type=float, default=0.0,
+        help="per-tier metal-width scaling sigma (factor-reuse fast path)",
+    )
+    p.add_argument(
+        "--sigma-tsv", type=float, default=0.0,
+        help="per-via TSV resistance spread sigma (zero refactorizations)",
+    )
+    p.add_argument(
+        "--budget", type=float, default=None,
+        help="IR-drop budget (V) for the violation probability",
+    )
+    p.add_argument(
+        "--quantiles", default="0.5,0.9,0.95,0.99",
+        help="comma-separated worst-drop quantiles to estimate",
+    )
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--outer-tol", type=float, default=1e-4, help="volts")
+    p.add_argument(
+        "--compare-naive", action="store_true",
+        help="also time the per-sample solve_vp loop and report speedup",
+    )
+    p.add_argument("--csv", help="write the quantile table as CSV")
+    p.add_argument("--json", help="write the full report as JSON")
+    p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser("sweep-tsv", help="E6: GS vs TSV resistance")
     p.add_argument("--side", type=int, default=24)

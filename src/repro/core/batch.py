@@ -1,13 +1,15 @@
 """Batched multi-scenario VP engine -- shared-factorization CVN.
 
-Sweeping load corners, rail-current scalings, or TSV design points with
-the plain solver means one :func:`repro.core.vp.solve_vp` call per
-scenario, each re-deriving the same per-tier plane structure.  But none
-of those knobs touch the plane matrices: loads and pad currents only
-move the right-hand sides, and TSV resistances act purely in the
-propagation phase.  So all scenarios of a sweep share one set of plane
-factorizations, and the CVN phase becomes a *multi-column*
-back-substitution:
+Sweeping load corners, rail-current scalings, TSV design points, or
+metal-width corners with the plain solver means one
+:func:`repro.core.vp.solve_vp` call per scenario, each re-deriving the
+same per-tier plane structure.  But none of those knobs require a new
+factorization: loads and pad currents only move the right-hand sides,
+TSV resistances (scalar knob or per-segment spread) act purely in the
+propagation phase, and a metal-width scaling ``G -> alpha G`` solves
+against the unscaled factors via the scaled-factor fast path.  So all
+scenarios of a sweep share one set of plane factorizations, and the CVN
+phase becomes a *multi-column* back-substitution:
 
 * per tier, the reduced RHS is an ``(n_free, S)`` matrix -- one column
   per scenario -- solved against the cached LU factors in a single call;
@@ -200,6 +202,8 @@ class BatchedVPSolver:
         stack: PowerGridStack,
         scenarios,
         config: BatchedVPConfig | None = None,
+        *,
+        planes: ReducedPlaneSystem | None = None,
     ):
         t_start = time.perf_counter()
         self.stack = stack
@@ -211,31 +215,53 @@ class BatchedVPSolver:
         self.has_pin = stack.pillars.has_pin
         self.v_pin = stack.v_pin
 
-        self.planes = ReducedPlaneSystem(stack, factorize=True, pillar_rows=True)
+        if planes is None:
+            planes = ReducedPlaneSystem(stack, factorize=True, pillar_rows=True)
+        elif not (planes.factorized and planes.has_pillar_rows):
+            raise ReproError(
+                "a pre-built plane system must be factorized with pillar rows"
+            )
+        # A pre-built system (e.g. from a PlaneFactorCache) shares this
+        # stack's plane *geometry*; base RHS vectors may be stale, so the
+        # solve below always passes explicit per-scenario RHS batches.
+        self.planes = planes
         self.pillar_flat = self.planes.pillar_flat
         n_pillars = self.pillar_flat.size
 
+        # Per-tier conductance multipliers (metal width): alpha (T, S).
+        alpha = self.scenarios.plane_scale_matrix(self.n_tiers)
+        self.plane_scale = alpha
+        self._has_plane_scale = bool(np.any(alpha != 1.0))
+
         # Per-scenario right-hand sides: (n_free, S) / (P, S) per tier.
+        # The pad term carries the plane scaling (pads are conductances of
+        # the scaled plane); loads are currents and scale independently.
         load_scales = self.scenarios.load_scale_matrix(self.n_tiers)
         self._b_free: list[np.ndarray] = []
         self._b_pillar: list[np.ndarray] = []
         for l, tier in enumerate(stack.tiers):
             pad_term = (tier.g_pad * tier.v_pad).ravel()
             loads = tier.loads.ravel()
-            rhs = pad_term[:, None] - loads[:, None] * load_scales[l][None, :]
+            rhs = (
+                pad_term[:, None] * alpha[l][None, :]
+                - loads[:, None] * load_scales[l][None, :]
+            )
             self._b_free.append(np.ascontiguousarray(rhs[self.planes.free]))
             self._b_pillar.append(np.ascontiguousarray(rhs[self.pillar_flat]))
 
-        # Segment resistances as a (T, P, S) design tensor.
-        r_scales = self.scenarios.r_scale_vector()
-        self.r_seg = stack.pillars.r_seg[:, :, None] * r_scales[None, None, :]
+        # Segment resistances as a (T, P, S) design tensor (scalar design
+        # knob plus any per-segment process spread).
+        self.r_seg = self.scenarios.r_seg_table(stack.pillars.r_seg)
 
         # Per-scenario stability bound (see VoltagePropagationSolver):
-        # gain_bound[p, s] = prod_l (1 + r_seg[l, p, s] * G_deg(p)).
+        # gain_bound[p, s] = prod_l (1 + r_seg[l, p, s] * alpha_0 G_deg(p)),
+        # mirroring the standalone solver, which reads the (scaled)
+        # degree conductance off tier 0.
         degree = stack.tiers[0].degree_conductance().ravel()[self.pillar_flat]
+        degree_s = degree[:, None] * alpha[0][None, :]
         gain_bound = np.ones((n_pillars, self.n_scenarios))
         for l in range(self.n_tiers):
-            gain_bound *= 1.0 + self.r_seg[l] * degree[:, None]
+            gain_bound *= 1.0 + self.r_seg[l] * degree_s
         self.pillar_gain_bound = gain_bound
         peak = np.maximum(gain_bound.max(axis=0), 1.0) if n_pillars else np.ones(
             self.n_scenarios
@@ -249,7 +275,7 @@ class BatchedVPSolver:
                 if self.n_tiers > 1
                 else np.zeros((n_pillars, self.n_scenarios))
             )
-            self._r_unit = series + 1.0 / np.maximum(degree, 1e-12)[:, None]
+            self._r_unit = series + 1.0 / np.maximum(degree_s, 1e-12)
         else:
             self._r_unit = None
 
@@ -364,8 +390,13 @@ class BatchedVPSolver:
 
             for l in range(self.n_tiers):
                 t0 = time.perf_counter()
+                scale = None
+                if self._has_plane_scale:
+                    alpha_l = self.plane_scale[l]
+                    scale = alpha_l if idx.size == n_scen else alpha_l[idx]
                 x_free = self.planes.solve_free(
-                    l, pillar_v, b_free=narrow(self._b_free[l], idx)
+                    l, pillar_v, b_free=narrow(self._b_free[l], idx),
+                    scale=scale,
                 )
                 v_full = self.planes.assemble(x_free, pillar_v)
                 fields.append(v_full)
@@ -373,7 +404,8 @@ class BatchedVPSolver:
 
                 t0 = time.perf_counter()
                 drawn = self.planes.drawn_currents(
-                    l, v_full, b_pillar=narrow(self._b_pillar[l], idx)
+                    l, v_full, b_pillar=narrow(self._b_pillar[l], idx),
+                    scale=scale,
                 )
                 cumulative += drawn
                 phase["tsv"] += time.perf_counter() - t0

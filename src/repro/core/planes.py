@@ -20,6 +20,8 @@ this module owns the partitioned structure so they share one code path:
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -28,19 +30,40 @@ from repro.grid.stack3d import PowerGridStack
 from repro.linalg.direct import DirectSolver
 
 
+def tier_signature(tier) -> bytes:
+    """Geometry signature of one tier's plane matrix: the wire and pad
+    conductances plus the pad rail voltage (loads excluded -- they only
+    enter the right-hand side)."""
+    return (
+        tier.g_h.tobytes()
+        + tier.g_v.tobytes()
+        + tier.g_pad.tobytes()
+        + np.float64(tier.v_pad).tobytes()
+    )
+
+
+def stack_plane_signature(stack: PowerGridStack) -> bytes:
+    """Signature of everything the partitioned plane systems depend on:
+    per-tier matrix geometry plus the pillar (Dirichlet) positions.
+
+    Two stacks with equal signatures produce identical
+    :class:`ReducedPlaneSystem` structure and factors, so the systems may
+    be shared -- the key of :class:`PlaneFactorCache`."""
+    digest = hashlib.sha256()
+    digest.update(np.int64([stack.rows, stack.cols, stack.n_tiers]).tobytes())
+    digest.update(stack.pillars.positions.tobytes())
+    for tier in stack.tiers:
+        digest.update(tier_signature(tier))
+    return digest.digest()
+
+
 def group_tiers(stack: PowerGridStack) -> list[int]:
     """Map each tier to the index of the first tier sharing its wire
     geometry (conductances and pads; loads excluded)."""
     signatures: dict[bytes, int] = {}
     groups: list[int] = []
     for l, tier in enumerate(stack.tiers):
-        signature = (
-            tier.g_h.tobytes()
-            + tier.g_v.tobytes()
-            + tier.g_pad.tobytes()
-            + np.float64(tier.v_pad).tobytes()
-        )
-        groups.append(signatures.setdefault(signature, l))
+        groups.append(signatures.setdefault(tier_signature(tier), l))
     return groups
 
 
@@ -105,6 +128,10 @@ class ReducedPlaneSystem:
         self.jacobi_inv: list[np.ndarray] = []
         self.b_free: list[np.ndarray] = []
         self.b_pillar: list[np.ndarray] = []
+        #: Distinct LU factorizations this system performed (0 when
+        #: ``factorize=False``) -- the unit the Monte Carlo driver's
+        #: refactorization accounting is expressed in.
+        self.n_factorizations = 0
         cache: dict[int, tuple] = {}
         for l, (matrix, rhs) in enumerate(self.planes):
             group = self.groups[l]
@@ -116,6 +143,7 @@ class ReducedPlaneSystem:
                 )
                 if factorize:
                     cache[group] = (DirectSolver(a_ff), a_fp, a_p, None)
+                    self.n_factorizations += 1
                 else:
                     cache[group] = (a_ff, a_fp, a_p, 1.0 / a_ff.diagonal())
             a_ff, a_fp, a_p, inv_diag = cache[group]
@@ -143,12 +171,20 @@ class ReducedPlaneSystem:
         tier_index: int,
         pillar_v: np.ndarray,
         b_free: np.ndarray | None = None,
+        scale=None,
     ) -> np.ndarray:
-        """``b_f - A_fp v_p`` for one tier; ``pillar_v`` is ``(P,)`` or
-        ``(P, S)`` and an explicit per-scenario ``b_free`` ``(n_free, S)``
-        overrides the tier's base RHS."""
+        """``b_f - scale * A_fp v_p`` for one tier; ``pillar_v`` is ``(P,)``
+        or ``(P, S)`` and an explicit per-scenario ``b_free`` ``(n_free, S)``
+        overrides the tier's base RHS.
+
+        ``scale`` is the conductance multiplier of the scaled-factor fast
+        path (see :meth:`solve_free`): a scalar, or an ``(S,)`` vector
+        applying per column.
+        """
         base = self.b_free[tier_index] if b_free is None else b_free
         coupling = self.a_fp[tier_index] @ pillar_v
+        if scale is not None:
+            coupling = coupling * scale
         if coupling.ndim == 2:
             # Subtract straight into a Fortran-ordered buffer: SuperLU
             # consumes multi-column RHS column-contiguous, so building it
@@ -163,22 +199,33 @@ class ReducedPlaneSystem:
         tier_index: int,
         pillar_v: np.ndarray,
         b_free: np.ndarray | None = None,
+        scale=None,
     ) -> np.ndarray:
         """Solve one tier's reduced system for the free-node voltages.
 
         Single- and multi-column ``pillar_v`` run through the same cached
         factorization; the multi-column case back-substitutes all
         scenarios in one call.
+
+        ``scale`` enables the **scaled-factor fast path**: when a
+        scenario multiplies every conductance of this tier by ``alpha``
+        (a metal-width / global process scaling), the scaled system is
+        ``alpha A_ff x = b_f - alpha A_fp v_p``, so the *unscaled*
+        factorization is reused -- scale the coupling, back-substitute,
+        divide by ``alpha``.  Scalar, or ``(S,)`` applying per column.
         """
         if not self.factorized:
             raise RuntimeError(
                 "solve_free needs factorize=True (use reduced_rhs with an "
                 "iterative solver otherwise)"
             )
-        rhs = self.reduced_rhs(tier_index, pillar_v, b_free)
+        rhs = self.reduced_rhs(tier_index, pillar_v, b_free, scale=scale)
         if rhs.ndim == 2 and not rhs.flags.f_contiguous:
             rhs = np.asfortranarray(rhs)
-        return self.a_ff[tier_index].solve(rhs)
+        x = self.a_ff[tier_index].solve(rhs)
+        if scale is not None:
+            x = x / scale
+        return x
 
     def assemble(
         self, x_free: np.ndarray, pillar_v: np.ndarray
@@ -198,13 +245,20 @@ class ReducedPlaneSystem:
         tier_index: int,
         v_full: np.ndarray,
         b_pillar: np.ndarray | None = None,
+        scale=None,
     ) -> np.ndarray:
         """Current each pillar delivers into this plane: the KCL residual
-        ``A_p v - b_p`` at the pillar rows (``(P,)`` or ``(P, S)``)."""
+        ``scale * A_p v - b_p`` at the pillar rows (``(P,)`` or ``(P, S)``).
+
+        ``scale`` is the same conductance multiplier as in
+        :meth:`solve_free` (the pillar rows of a scaled plane are
+        ``alpha A_p``)."""
         if not self.has_pillar_rows:
             raise RuntimeError("drawn_currents needs pillar_rows=True")
         base = self.b_pillar[tier_index] if b_pillar is None else b_pillar
         product = self.a_pillar[tier_index] @ v_full
+        if scale is not None:
+            product = product * scale
         return product - _match_columns(base, product)
 
     def update_rhs(self, tier_index: int, rhs_full: np.ndarray) -> None:
@@ -247,3 +301,76 @@ class ReducedPlaneSystem:
         for inv in self.jacobi_inv:
             total += once(inv, inv.nbytes)
         return int(total)
+
+
+class PlaneFactorCache:
+    """LU factor reuse across stacks keyed by plane-geometry signature.
+
+    The Monte Carlo variation driver (:mod:`repro.stochastic`) solves
+    hundreds of sampled grids.  Samples that only perturb TSV
+    resistances, loads, or apply global conductance scalings leave the
+    per-tier plane matrices bit-identical, so their
+    :class:`ReducedPlaneSystem` (and its factors) can be shared; only
+    samples that actually change wire conductance *fields* pay a fresh
+    factorization.  The cache makes that policy explicit and countable:
+
+    * ``factorizations`` -- total LU factorizations performed through the
+      cache (the quantity benchmarks assert on: a TSV-only sweep must
+      stay at the baseline count, i.e. zero *re*-factorizations);
+    * ``hits`` / ``misses`` -- lookup accounting.
+
+    Cached systems are built with ``pillar_rows=True`` (the batched
+    engine needs the pillar rows).  NOTE: a cached system's *base*
+    right-hand sides belong to the stack it was first built from;
+    callers reusing a system for a same-geometry stack with different
+    loads must pass explicit ``b_free``/``b_pillar`` (the batched solver
+    always does).
+    """
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: dict[bytes, ReducedPlaneSystem] = {}
+        self._pinned: set[bytes] = set()
+        self.factorizations = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self, stack: PowerGridStack, *, pin: bool = False
+    ) -> ReducedPlaneSystem:
+        """Return the shared plane system for ``stack``'s geometry,
+        factorizing (and counting) only on a signature miss.
+
+        ``pin`` exempts the entry from LRU eviction -- callers that hold
+        a long-lived handle (the Monte Carlo driver's baseline) pin it so
+        a churn of one-off geometries cannot push it out between their
+        explicit ``get`` calls.
+        """
+        key = stack_plane_signature(stack)
+        system = self._entries.pop(key, None)
+        if system is not None:
+            self.hits += 1
+            self._entries[key] = system  # refresh LRU position
+            if pin:
+                self._pinned.add(key)
+            return system
+        self.misses += 1
+        system = ReducedPlaneSystem(stack, factorize=True, pillar_rows=True)
+        self.factorizations += system.n_factorizations
+        if len(self._entries) >= self.max_entries:
+            # LRU eviction of the oldest unpinned entry: one-off
+            # geometries (fresh wire-field draws) churn the tail while
+            # pinned baselines stay resident.
+            for candidate in self._entries:
+                if candidate not in self._pinned:
+                    del self._entries[candidate]
+                    break
+        self._entries[key] = system
+        if pin:
+            self._pinned.add(key)
+        return system

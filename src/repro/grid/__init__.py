@@ -21,7 +21,13 @@ from repro.grid.generators import (
 )
 from repro.grid.loads import make_loads
 from repro.grid.pads import place_pads
-from repro.grid.perturb import perturb_conductances
+from repro.grid.perturb import (
+    kl_gaussian_field,
+    perturb_conductances,
+    perturb_grid,
+    perturb_stack,
+    perturb_tsv_resistances,
+)
 from repro.grid.validate import validate_grid2d, validate_stack
 
 __all__ = [
@@ -38,7 +44,11 @@ __all__ = [
     "paper_stack",
     "make_loads",
     "place_pads",
+    "kl_gaussian_field",
     "perturb_conductances",
+    "perturb_grid",
+    "perturb_stack",
+    "perturb_tsv_resistances",
     "validate_grid2d",
     "validate_stack",
 ]

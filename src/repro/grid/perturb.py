@@ -1,10 +1,23 @@
-"""Conductance perturbation (process-variation style jitter).
+"""Conductance/resistance perturbation (process-variation jitter).
 
-The paper's benchmarks are uniform meshes; real extracted grids are not.
-Multiplicative lognormal jitter on segment conductances lets tests and
-ablations exercise the non-uniform code paths (per-row factorization in the
-row-based solver, general multigrid coarsening) without a full extraction
-flow.
+The paper's benchmarks are uniform meshes; real extracted grids are not,
+and real sign-off must bound IR drop under *process variations* that
+perturb the conductances themselves.  This module supplies the sampling
+primitives:
+
+* i.i.d. multiplicative lognormal jitter on wire segments (the original
+  behaviour, kept as :func:`perturb_conductances`);
+* spatially-correlated fields via a truncated Karhunen-Loeve expansion
+  of a separable exponential kernel (Ghanta et al., "Stochastic Power
+  Grid Analysis Considering Process Variations" -- intra-die variation
+  is smooth, not white noise);
+* pad-conductance and TSV (via) resistance jitter at the stack level
+  (:func:`perturb_stack`).
+
+Every entry point is seedable through ``np.random.default_rng`` and
+guarantees that ``sigma = 0`` is an exact no-op copy, which the
+Monte Carlo subsystem (:mod:`repro.stochastic`) relies on for its
+geometry-signature grouping.
 """
 
 from __future__ import annotations
@@ -13,6 +26,122 @@ import numpy as np
 
 from repro.errors import GridError
 from repro.grid.grid2d import Grid2D
+from repro.grid.stack3d import PillarSet, PowerGridStack
+
+
+def _check_sigma(sigma: float, label: str) -> float:
+    sigma = float(sigma)
+    if sigma < 0:
+        raise GridError(f"{label} must be non-negative")
+    return sigma
+
+
+def kl_gaussian_field(
+    rows: int,
+    cols: int,
+    corr_length: float,
+    rank: int = 16,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """One draw of a unit-variance Gaussian field with separable
+    exponential correlation ``exp(-d/corr_length)`` per axis.
+
+    The field is a truncated Karhunen-Loeve expansion: the separable
+    kernel ``K = K_r (x) K_c`` has eigenpairs that are products of the
+    1-D eigenpairs, so only two small (``rows x rows`` and
+    ``cols x cols``) symmetric eigenproblems are solved and the ``rank``
+    largest product-eigenvalue modes are kept.  The truncated field is
+    renormalized pointwise to unit marginal variance so ``sigma`` keeps
+    its meaning regardless of the rank.
+    """
+    if corr_length <= 0:
+        raise GridError("corr_length must be positive (use iid jitter otherwise)")
+    if rank < 1:
+        raise GridError("KL rank must be >= 1")
+    gen = np.random.default_rng(rng)
+
+    def axis_modes(n: int) -> tuple[np.ndarray, np.ndarray]:
+        distance = np.abs(np.subtract.outer(np.arange(n), np.arange(n)))
+        kernel = np.exp(-distance / corr_length)
+        values, vectors = np.linalg.eigh(kernel)
+        order = np.argsort(values)[::-1]
+        return values[order], vectors[:, order]
+
+    lam_r, phi_r = axis_modes(rows)
+    lam_c, phi_c = axis_modes(cols)
+    # Keep the `rank` largest product eigenvalues lam_r[i] * lam_c[j].
+    keep = min(rank, rows * cols)
+    product = np.outer(lam_r, lam_c)
+    flat = np.argsort(product, axis=None)[::-1][:keep]
+    ii, jj = np.unravel_index(flat, product.shape)
+
+    weights = np.sqrt(np.maximum(product[ii, jj], 0.0))
+    xi = gen.standard_normal(keep)
+    field = np.einsum(
+        "k,rk,ck->rc", weights * xi, phi_r[:, ii], phi_c[:, jj]
+    )
+    # Pointwise variance of the truncation: sum_k lam_k phi_k(x)^2.
+    variance = np.einsum(
+        "k,rk,ck->rc", weights**2, phi_r[:, ii] ** 2, phi_c[:, jj] ** 2
+    )
+    return field / np.sqrt(np.maximum(variance, 1e-300))
+
+
+def _edge_factors(
+    node_field: np.ndarray, sigma: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lognormal edge factors from a node-centered Gaussian field.
+
+    Each wire segment takes the mean of its two endpoint values, so
+    horizontal and vertical segments around the same node stay
+    correlated (the physical picture: local linewidth shifts affect all
+    nearby wires together).
+    """
+    z_h = 0.5 * (node_field[:, :-1] + node_field[:, 1:])
+    z_v = 0.5 * (node_field[:-1, :] + node_field[1:, :])
+    return np.exp(sigma * z_h), np.exp(sigma * z_v)
+
+
+def perturb_grid(
+    grid: Grid2D,
+    sigma_wire: float,
+    rng: np.random.Generator | int | None = None,
+    *,
+    sigma_pad: float = 0.0,
+    corr_length: float = 0.0,
+    kl_rank: int = 16,
+) -> Grid2D:
+    """Return a copy of ``grid`` with jittered conductances.
+
+    ``sigma_wire`` applies multiplicative lognormal jitter to every wire
+    segment -- i.i.d. when ``corr_length == 0`` (the historical
+    behaviour), or spatially correlated through a rank-``kl_rank``
+    KL field when ``corr_length > 0``.  ``sigma_pad`` jitters the pad
+    conductances (only where pads exist; zero entries stay zero).  All
+    sigmas equal to zero make this an exact no-op copy.  Loads are
+    never touched.
+    """
+    sigma_wire = _check_sigma(sigma_wire, "sigma_wire")
+    sigma_pad = _check_sigma(sigma_pad, "sigma_pad")
+    out = grid.copy()
+    if sigma_wire == 0 and sigma_pad == 0:
+        return out
+    gen = np.random.default_rng(rng)
+    if sigma_wire > 0:
+        if corr_length > 0:
+            node_field = kl_gaussian_field(
+                grid.rows, grid.cols, corr_length, kl_rank, gen
+            )
+            f_h, f_v = _edge_factors(node_field, sigma_wire)
+        else:
+            # Zero-median jitter: multiply by exp(N(0, sigma)).
+            f_h = gen.lognormal(0.0, sigma_wire, size=out.g_h.shape)
+            f_v = gen.lognormal(0.0, sigma_wire, size=out.g_v.shape)
+        out.g_h = out.g_h * f_h
+        out.g_v = out.g_v * f_v
+    if sigma_pad > 0:
+        out.g_pad = out.g_pad * gen.lognormal(0.0, sigma_pad, size=out.g_pad.shape)
+    return out
 
 
 def perturb_conductances(
@@ -20,17 +149,62 @@ def perturb_conductances(
     sigma: float,
     rng: np.random.Generator | int | None = None,
 ) -> Grid2D:
-    """Return a copy of ``grid`` with each wire conductance multiplied by an
-    i.i.d. lognormal factor of the given ``sigma`` (sigma = 0 is a no-op
-    copy).  Pad conductances and loads are untouched.
+    """Historical API: i.i.d. lognormal jitter on the wire conductances
+    only (sigma = 0 is a no-op copy).  Thin wrapper over
+    :func:`perturb_grid`; pad conductances and loads are untouched."""
+    return perturb_grid(grid, sigma, rng)
+
+
+def perturb_tsv_resistances(
+    pillars: PillarSet,
+    sigma: float,
+    rng: np.random.Generator | int | None = None,
+) -> PillarSet:
+    """Jitter every TSV (via) segment resistance by an i.i.d. lognormal
+    factor (sigma = 0 copies verbatim)."""
+    sigma = _check_sigma(sigma, "sigma_tsv")
+    r_seg = pillars.r_seg.copy()
+    if sigma > 0:
+        gen = np.random.default_rng(rng)
+        r_seg = r_seg * gen.lognormal(0.0, sigma, size=r_seg.shape)
+    return PillarSet(
+        positions=pillars.positions.copy(),
+        r_seg=r_seg,
+        v_pin=pillars.v_pin,
+        has_pin=pillars.has_pin.copy(),
+    )
+
+
+def perturb_stack(
+    stack: PowerGridStack,
+    *,
+    sigma_wire: float = 0.0,
+    sigma_pad: float = 0.0,
+    sigma_tsv: float = 0.0,
+    corr_length: float = 0.0,
+    kl_rank: int = 16,
+    rng: np.random.Generator | int | None = None,
+) -> PowerGridStack:
+    """Jitter a whole 3-D stack: per-tier wire/pad conductances plus the
+    vertical via (TSV) segment resistances.
+
+    Tiers draw independent fields (intra-die variation is per-die, and
+    stacked dies come from different wafers).  All sigmas zero is an
+    exact no-op copy.
     """
-    if sigma < 0:
-        raise GridError("sigma must be non-negative")
-    out = grid.copy()
-    if sigma == 0:
-        return out
     gen = np.random.default_rng(rng)
-    # Zero-median jitter: multiply by exp(N(0, sigma)).
-    out.g_h = out.g_h * gen.lognormal(0.0, sigma, size=out.g_h.shape)
-    out.g_v = out.g_v * gen.lognormal(0.0, sigma, size=out.g_v.shape)
-    return out
+    tiers = [
+        perturb_grid(
+            tier,
+            sigma_wire,
+            gen,
+            sigma_pad=sigma_pad,
+            corr_length=corr_length,
+            kl_rank=kl_rank,
+        )
+        for tier in stack.tiers
+    ]
+    pillars = perturb_tsv_resistances(stack.pillars, sigma_tsv, gen)
+    return PowerGridStack(
+        tiers=tiers, pillars=pillars, name=stack.name, net=stack.net
+    )

@@ -9,6 +9,7 @@ from repro.scenarios.sweeps import (
     cartesian_sweep,
     combine,
     load_corner_sweep,
+    metal_width_sweep,
     pad_current_sweep,
     tsv_design_sweep,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "cartesian_sweep",
     "combine",
     "load_corner_sweep",
+    "metal_width_sweep",
     "pad_current_sweep",
     "tsv_design_sweep",
 ]

@@ -1,18 +1,27 @@
 """Scenario specifications for multi-corner 3-D power-grid analysis.
 
 A *scenario* is one what-if point of a sweep: a load corner (per-tier
-activity multipliers), a rail-current scaling, a TSV design point, or any
-combination.  Crucially, every knob a :class:`Scenario` exposes leaves
-the per-tier plane matrices untouched:
+activity multipliers), a rail-current scaling, a TSV design/process
+point, a metal-width (global conductance) scaling, or any combination.
+Crucially, every knob a :class:`Scenario` exposes reuses one shared set
+of plane factorizations:
 
 * load and pad-current scalings only move the plane right-hand sides;
-* TSV segment resistances never enter the plane solves at all (the
-  paper's "a resistance should not be processed twice" rule) -- they act
-  in the propagation phase.
+* TSV segment resistances -- whether the scalar ``r_tsv_scale`` design
+  knob or a per-segment ``r_seg_scale`` process spread -- never enter
+  the plane solves at all (the paper's "a resistance should not be
+  processed twice" rule); they act in the propagation phase;
+* ``plane_scale`` multiplies *every* conductance of a tier by one factor
+  ``alpha``, so the scaled system ``alpha G x = b`` is solved against the
+  unscaled factors (scale the coupling, back-substitute, divide) -- the
+  scaled-factor fast path of
+  :class:`repro.core.planes.ReducedPlaneSystem`.
 
-That invariant is what lets the batched engine
+That contract is what lets the batched engine
 (:class:`repro.core.batch.BatchedVPSolver`) solve a whole
-:class:`ScenarioSet` against one shared set of plane factorizations.
+:class:`ScenarioSet` -- and the Monte Carlo variation driver
+(:mod:`repro.stochastic`) whole sample populations -- with zero
+refactorizations.
 """
 
 from __future__ import annotations
@@ -43,11 +52,22 @@ class Scenario:
     r_tsv_scale:
         Multiplier on every TSV segment resistance (a TSV process/design
         point).  Must be positive.
+    plane_scale:
+        Multiplier on every wire *and* pad conductance of a tier -- the
+        metal-width / global-process scaling ``G -> alpha G``.  A scalar
+        or a per-tier tuple; must be positive.  Solved against the
+        shared factors via the scaled-factor fast path.
+    r_seg_scale:
+        Optional ``(T, P)`` per-segment multiplier on the TSV resistance
+        table (process spread across individual vias), composing
+        multiplicatively with ``r_tsv_scale``.  Must be positive.
     """
 
     name: str
     load_scale: float | tuple[float, ...] = 1.0
     r_tsv_scale: float = 1.0
+    plane_scale: float | tuple[float, ...] = 1.0
+    r_seg_scale: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -57,18 +77,58 @@ class Scenario:
             raise ReproError(f"scenario {self.name!r}: load_scale must be >= 0")
         if self.r_tsv_scale <= 0:
             raise ReproError(f"scenario {self.name!r}: r_tsv_scale must be > 0")
+        planes = np.atleast_1d(np.asarray(self.plane_scale, dtype=float))
+        if np.any(planes <= 0):
+            raise ReproError(f"scenario {self.name!r}: plane_scale must be > 0")
+        if self.r_seg_scale is not None:
+            table = np.asarray(self.r_seg_scale, dtype=float)
+            if table.ndim != 2:
+                raise ReproError(
+                    f"scenario {self.name!r}: r_seg_scale must be (T, P), "
+                    f"got shape {table.shape}"
+                )
+            if np.any(table <= 0):
+                raise ReproError(
+                    f"scenario {self.name!r}: r_seg_scale must be > 0"
+                )
+            object.__setattr__(self, "r_seg_scale", table)
 
-    def tier_scales(self, n_tiers: int) -> np.ndarray:
-        """Per-tier load multipliers, broadcast to ``(n_tiers,)``."""
-        scales = np.atleast_1d(np.asarray(self.load_scale, dtype=float))
+    @staticmethod
+    def _broadcast_tiers(
+        value, n_tiers: int, name: str, what: str
+    ) -> np.ndarray:
+        scales = np.atleast_1d(np.asarray(value, dtype=float))
         if scales.size == 1:
             return np.full(n_tiers, float(scales[0]))
         if scales.size != n_tiers:
             raise GridError(
-                f"scenario {self.name!r}: {scales.size} per-tier load "
+                f"scenario {name!r}: {scales.size} per-tier {what} "
                 f"scales for a {n_tiers}-tier stack"
             )
         return scales
+
+    def tier_scales(self, n_tiers: int) -> np.ndarray:
+        """Per-tier load multipliers, broadcast to ``(n_tiers,)``."""
+        return self._broadcast_tiers(self.load_scale, n_tiers, self.name, "load")
+
+    def tier_plane_scales(self, n_tiers: int) -> np.ndarray:
+        """Per-tier conductance multipliers, broadcast to ``(n_tiers,)``."""
+        return self._broadcast_tiers(
+            self.plane_scale, n_tiers, self.name, "plane"
+        )
+
+    def r_seg_factors(self, r_seg: np.ndarray) -> np.ndarray:
+        """Total TSV multiplier table ``(T, P)`` for a base segment table
+        (scalar design knob times the optional per-segment spread)."""
+        factors = np.full(r_seg.shape, float(self.r_tsv_scale))
+        if self.r_seg_scale is not None:
+            if self.r_seg_scale.shape != r_seg.shape:
+                raise GridError(
+                    f"scenario {self.name!r}: r_seg_scale shape "
+                    f"{self.r_seg_scale.shape} != r_seg table {r_seg.shape}"
+                )
+            factors = factors * self.r_seg_scale
+        return factors
 
     def apply(self, stack: PowerGridStack) -> PowerGridStack:
         """Materialize this scenario as a standalone stack copy.
@@ -77,29 +137,45 @@ class Scenario:
         parity checks against the batched engine.
         """
         scales = self.tier_scales(stack.n_tiers)
+        alphas = self.tier_plane_scales(stack.n_tiers)
         tiers = [tier.copy() for tier in stack.tiers]
-        for tier, scale in zip(tiers, scales):
+        for tier, scale, alpha in zip(tiers, scales, alphas):
             tier.loads = scale_loads(tier.loads, scale)
+            if alpha != 1.0:
+                tier.g_h = tier.g_h * alpha
+                tier.g_v = tier.g_v * alpha
+                tier.g_pad = tier.g_pad * alpha
         pillars = PillarSet(
             positions=stack.pillars.positions.copy(),
-            r_seg=stack.pillars.r_seg * self.r_tsv_scale,
+            r_seg=stack.pillars.r_seg * self.r_seg_factors(stack.pillars.r_seg),
             v_pin=stack.pillars.v_pin,
             has_pin=stack.pillars.has_pin.copy(),
         )
         name = f"{stack.name}/{self.name}" if stack.name else self.name
         return PowerGridStack(tiers=tiers, pillars=pillars, name=name, net=stack.net)
 
+    @staticmethod
+    def _scale_label(value) -> float | str:
+        scales = np.atleast_1d(np.asarray(value, dtype=float))
+        if scales.size == 1:
+            return float(scales[0])
+        return "x".join(f"{s:g}" for s in scales)
+
     def describe(self) -> dict:
         """Flat record for CSV/JSON reports."""
-        scales = np.atleast_1d(np.asarray(self.load_scale, dtype=float))
-        return {
+        record = {
             "scenario": self.name,
-            "load_scale": (
-                float(scales[0]) if scales.size == 1
-                else "x".join(f"{s:g}" for s in scales)
-            ),
+            "load_scale": self._scale_label(self.load_scale),
             "r_tsv_scale": float(self.r_tsv_scale),
         }
+        if not np.all(np.atleast_1d(np.asarray(self.plane_scale)) == 1.0):
+            record["plane_scale"] = self._scale_label(self.plane_scale)
+        if self.r_seg_scale is not None:
+            record["r_seg_spread"] = (
+                f"{float(self.r_seg_scale.min()):.3g}.."
+                f"{float(self.r_seg_scale.max()):.3g}"
+            )
+        return record
 
 
 class ScenarioSet(Sequence):
@@ -157,8 +233,24 @@ class ScenarioSet(Sequence):
         )
 
     def r_scale_vector(self) -> np.ndarray:
-        """``(S,)`` TSV-resistance multipliers."""
+        """``(S,)`` scalar TSV-resistance multipliers (the design knob
+        only; per-segment spreads live in :meth:`r_seg_table`)."""
         return np.array([s.r_tsv_scale for s in self.scenarios], dtype=float)
+
+    def plane_scale_matrix(self, n_tiers: int) -> np.ndarray:
+        """``(T, S)`` per-tier conductance multipliers, one column per
+        scenario (all ones for sweeps that never touch metal width)."""
+        return np.column_stack(
+            [s.tier_plane_scales(n_tiers) for s in self.scenarios]
+        )
+
+    def r_seg_table(self, r_seg: np.ndarray) -> np.ndarray:
+        """``(T, P, S)`` per-scenario TSV segment resistances for a base
+        ``(T, P)`` table, combining the scalar design knob with any
+        per-segment process spread."""
+        return np.stack(
+            [r_seg * s.r_seg_factors(r_seg) for s in self.scenarios], axis=2
+        )
 
     def describe(self) -> list[dict]:
         return [s.describe() for s in self.scenarios]

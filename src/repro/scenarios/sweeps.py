@@ -82,30 +82,58 @@ def tsv_design_sweep(
     ]
 
 
-def combine(a: Scenario, b: Scenario, sep: str = "+") -> Scenario:
-    """Compose two scenarios: load scales multiply (per-tier aware) and
-    TSV scales multiply."""
-    scale_a, scale_b = a.load_scale, b.load_scale
+def metal_width_sweep(
+    scales: Sequence[float] = (0.9, 1.0, 1.1),
+    prefix: str = "width",
+) -> list[Scenario]:
+    """Metal-width / global-process corners: every wire and pad
+    conductance scaled by each factor (``G -> alpha G``), solved against
+    the shared factors via the scaled-factor fast path."""
+    if not scales:
+        raise ReproError("metal_width_sweep needs at least one scale")
+    return [
+        Scenario(name=f"{prefix}-x{_format_scale(s)}", plane_scale=float(s))
+        for s in scales
+    ]
+
+
+def _compose_tier_scales(scale_a, scale_b, what: str):
+    """Multiply two scalar-or-per-tier-tuple scale specs."""
     if isinstance(scale_a, tuple) or isinstance(scale_b, tuple):
         tup_a = scale_a if isinstance(scale_a, tuple) else None
         tup_b = scale_b if isinstance(scale_b, tuple) else None
         if tup_a is not None and tup_b is not None:
             if len(tup_a) != len(tup_b):
                 raise ReproError(
-                    f"cannot combine per-tier scales of lengths "
+                    f"cannot combine per-tier {what} scales of lengths "
                     f"{len(tup_a)} and {len(tup_b)}"
                 )
-            load_scale = tuple(x * y for x, y in zip(tup_a, tup_b))
-        elif tup_a is not None:
-            load_scale = tuple(x * float(scale_b) for x in tup_a)
-        else:
-            load_scale = tuple(float(scale_a) * y for y in tup_b)
+            return tuple(x * y for x, y in zip(tup_a, tup_b))
+        if tup_a is not None:
+            return tuple(x * float(scale_b) for x in tup_a)
+        return tuple(float(scale_a) * y for y in tup_b)
+    return float(scale_a) * float(scale_b)
+
+
+def combine(a: Scenario, b: Scenario, sep: str = "+") -> Scenario:
+    """Compose two scenarios: load, plane (metal-width), and TSV scales
+    all multiply (per-tier aware); per-segment spreads multiply
+    elementwise."""
+    if a.r_seg_scale is not None and b.r_seg_scale is not None:
+        if a.r_seg_scale.shape != b.r_seg_scale.shape:
+            raise ReproError(
+                f"cannot combine r_seg_scale tables of shapes "
+                f"{a.r_seg_scale.shape} and {b.r_seg_scale.shape}"
+            )
+        r_seg_scale = a.r_seg_scale * b.r_seg_scale
     else:
-        load_scale = float(scale_a) * float(scale_b)
+        r_seg_scale = a.r_seg_scale if a.r_seg_scale is not None else b.r_seg_scale
     return Scenario(
         name=f"{a.name}{sep}{b.name}",
-        load_scale=load_scale,
+        load_scale=_compose_tier_scales(a.load_scale, b.load_scale, "load"),
         r_tsv_scale=a.r_tsv_scale * b.r_tsv_scale,
+        plane_scale=_compose_tier_scales(a.plane_scale, b.plane_scale, "plane"),
+        r_seg_scale=r_seg_scale,
     )
 
 

@@ -1,0 +1,70 @@
+"""Stochastic variation analysis: Monte Carlo VP over conductance space.
+
+Real sign-off bounds IR drop under *process variations* that perturb the
+conductance matrices themselves (Ghanta et al.).  This package layers a
+variation-aware Monte Carlo engine on the VP core: variation models
+(:mod:`~repro.stochastic.models`), a factor-reuse driver
+(:mod:`~repro.stochastic.montecarlo`), and population statistics with
+bootstrap confidence intervals (:mod:`~repro.stochastic.stats`).
+
+Quick start::
+
+    from repro.stochastic import (
+        MetalWidthVariation, TSVVariation, VariationSpec, run_monte_carlo,
+    )
+
+    spec = VariationSpec(
+        width=MetalWidthVariation(sigma=0.05),
+        tsv=TSVVariation(sigma=0.1),
+    )
+    result = run_monte_carlo(stack, spec, n_samples=256, seed=0)
+    print(result.quantile(0.95).value, result.stats.refactorizations)  # 0!
+"""
+
+from repro.stochastic.models import (
+    MetalWidthVariation,
+    TSVVariation,
+    VariationDraw,
+    VariationSpec,
+    WireFieldVariation,
+)
+from repro.stochastic.montecarlo import (
+    MonteCarloConfig,
+    MonteCarloResult,
+    MonteCarloStats,
+    naive_monte_carlo,
+    run_monte_carlo,
+)
+from repro.stochastic.stats import (
+    QuantileEstimate,
+    RunningFieldStats,
+    ViolationEstimate,
+    bootstrap_quantile_ci,
+    convergence_trace,
+    empirical_quantile,
+    quantile_table,
+    violation_probability,
+    wilson_interval,
+)
+
+__all__ = [
+    "MetalWidthVariation",
+    "TSVVariation",
+    "VariationDraw",
+    "VariationSpec",
+    "WireFieldVariation",
+    "MonteCarloConfig",
+    "MonteCarloResult",
+    "MonteCarloStats",
+    "naive_monte_carlo",
+    "run_monte_carlo",
+    "QuantileEstimate",
+    "RunningFieldStats",
+    "ViolationEstimate",
+    "bootstrap_quantile_ci",
+    "convergence_trace",
+    "empirical_quantile",
+    "quantile_table",
+    "violation_probability",
+    "wilson_interval",
+]

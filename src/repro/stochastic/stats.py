@@ -1,0 +1,232 @@
+"""Statistics for Monte Carlo IR-drop populations.
+
+Everything the ``repro mc`` report needs: streaming per-node moments
+(the full per-sample field population never has to be held in memory),
+empirical quantiles of the worst drop with bootstrap confidence
+intervals, violation probabilities against a drop budget with Wilson
+intervals, and a convergence-of-the-estimate trace showing how the
+running mean settles with the sample count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class RunningFieldStats:
+    """Streaming per-element mean/variance (Welford) over equal-shape
+    fields -- e.g. the ``(T, R, C)`` IR-drop field of each sample."""
+
+    def __init__(self, shape: tuple[int, ...]):
+        self.n = 0
+        self.mean = np.zeros(shape)
+        self._m2 = np.zeros(shape)
+
+    def update(self, field: np.ndarray) -> None:
+        field = np.asarray(field, dtype=float)
+        if field.shape != self.mean.shape:
+            raise ReproError(
+                f"field shape {field.shape} != {self.mean.shape}"
+            )
+        self.n += 1
+        delta = field - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (field - self.mean)
+
+    def update_batch(self, fields: np.ndarray) -> None:
+        """Push a batch with the sample axis *last* (the batched engine's
+        layout)."""
+        fields = np.asarray(fields, dtype=float)
+        for k in range(fields.shape[-1]):
+            self.update(fields[..., k])
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Per-element sample variance (ddof=1; zeros until n >= 2)."""
+        if self.n < 2:
+            return np.zeros_like(self._m2)
+        return self._m2 / (self.n - 1)
+
+    @property
+    def std(self) -> np.ndarray:
+        return np.sqrt(self.variance)
+
+
+@dataclass
+class QuantileEstimate:
+    """An empirical quantile with a bootstrap confidence interval."""
+
+    q: float
+    value: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    def row(self) -> list:
+        return [
+            f"p{self.q * 100:g}",
+            f"{self.value * 1e3:.4f}",
+            f"{self.ci_low * 1e3:.4f}",
+            f"{self.ci_high * 1e3:.4f}",
+        ]
+
+
+def empirical_quantile(values: np.ndarray, q: float) -> float:
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ReproError("quantile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ReproError(f"quantile must be in [0, 1], got {q}")
+    return float(np.quantile(values, q))
+
+
+def bootstrap_quantile_ci(
+    values: np.ndarray,
+    q: float,
+    *,
+    n_boot: int = 400,
+    confidence: float = 0.95,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval of an empirical quantile.
+
+    Resamples the worst-drop population with replacement ``n_boot``
+    times; the interval is the ``(1 - confidence)/2`` and
+    ``(1 + confidence)/2`` quantiles of the resampled estimates.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ReproError("bootstrap of an empty sample")
+    if n_boot < 2:
+        raise ReproError("n_boot must be >= 2")
+    if not 0.0 < confidence < 1.0:
+        raise ReproError("confidence must be in (0, 1)")
+    gen = np.random.default_rng(rng)
+    samples = gen.choice(values, size=(n_boot, values.size), replace=True)
+    estimates = np.quantile(samples, q, axis=1)
+    tail = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(estimates, tail)),
+        float(np.quantile(estimates, 1.0 - tail)),
+    )
+
+
+def quantile_table(
+    values: np.ndarray,
+    qs: tuple[float, ...],
+    *,
+    n_boot: int = 400,
+    confidence: float = 0.95,
+    rng: np.random.Generator | int | None = None,
+) -> list[QuantileEstimate]:
+    """Empirical quantiles of a population, each with its bootstrap CI
+    (one generator drives all of them, so a seed fixes the table)."""
+    gen = np.random.default_rng(rng)
+    out = []
+    for q in qs:
+        low, high = bootstrap_quantile_ci(
+            values, q, n_boot=n_boot, confidence=confidence, rng=gen
+        )
+        out.append(
+            QuantileEstimate(
+                q=float(q),
+                value=empirical_quantile(values, q),
+                ci_low=low,
+                ci_high=high,
+                confidence=confidence,
+            )
+        )
+    return out
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion (well-behaved at
+    p near 0 or 1, where violation probabilities live)."""
+    if trials < 1:
+        raise ReproError("Wilson interval needs at least one trial")
+    if not 0 <= successes <= trials:
+        raise ReproError("successes must be in [0, trials]")
+    from scipy.special import ndtri  # standard-normal quantile
+
+    z = float(ndtri(1.0 - (1.0 - confidence) / 2.0))
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * np.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    # At p_hat = 0 (or 1) the Wilson bound is exactly 0 (or 1); the
+    # subtraction above only misses that by round-off.
+    low = 0.0 if successes == 0 else max(0.0, float(center - half))
+    high = 1.0 if successes == trials else min(1.0, float(center + half))
+    return (low, high)
+
+
+@dataclass
+class ViolationEstimate:
+    """Probability that the worst drop exceeds a budget, with CI."""
+
+    budget: float
+    probability: float
+    ci_low: float
+    ci_high: float
+    violations: int
+    trials: int
+    confidence: float
+
+
+def violation_probability(
+    worst_drops: np.ndarray, budget: float, confidence: float = 0.95
+) -> ViolationEstimate:
+    """Fraction of samples whose worst IR drop exceeds ``budget`` volts,
+    with a Wilson score interval."""
+    worst_drops = np.asarray(worst_drops, dtype=float)
+    if worst_drops.size == 0:
+        raise ReproError("violation probability of an empty sample")
+    if budget <= 0:
+        raise ReproError("drop budget must be positive")
+    violations = int(np.count_nonzero(worst_drops > budget))
+    low, high = wilson_interval(violations, worst_drops.size, confidence)
+    return ViolationEstimate(
+        budget=float(budget),
+        probability=violations / worst_drops.size,
+        ci_low=low,
+        ci_high=high,
+        violations=violations,
+        trials=int(worst_drops.size),
+        confidence=confidence,
+    )
+
+
+def convergence_trace(
+    values: np.ndarray, n_points: int = 16
+) -> list[dict]:
+    """Running mean and standard error of the estimate at growing sample
+    counts -- the "has the Monte Carlo settled?" report.
+
+    Returns ``[{"n": k, "mean": m_k, "sem": s_k}, ...]`` at roughly
+    geometrically spaced ``k`` up to the full population.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ReproError("convergence trace of an empty sample")
+    n = values.size
+    counts = np.unique(
+        np.clip(
+            np.round(np.geomspace(2, n, min(n_points, n))).astype(int), 2, n
+        )
+    ) if n >= 2 else np.array([1])
+    trace = []
+    for k in counts:
+        head = values[:k]
+        sem = float(head.std(ddof=1) / np.sqrt(k)) if k >= 2 else float("nan")
+        trace.append({"n": int(k), "mean": float(head.mean()), "sem": sem})
+    return trace

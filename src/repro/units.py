@@ -44,26 +44,33 @@ def si_parse(text: str) -> float:
     """Parse a number with an optional SI prefix suffix, e.g. ``'0.05'``,
     ``'50m'``, ``'2.1k'``.  SPICE-style ``meg`` is accepted for 1e6.
 
-    Raises ``ValueError`` on malformed input.
+    Raises ``ValueError`` on malformed input, including non-finite
+    values (``nan``/``inf`` parse as floats but are never legal element
+    values).
     """
     stripped = text.strip()
     if not stripped:
         raise ValueError("empty numeric field")
     lowered = stripped.lower()
     if lowered.endswith("meg"):
-        return float(lowered[:-3]) * 1e6
-    suffix = stripped[-1]
-    if suffix in _PREFIX_EXPONENTS and not suffix.isdigit():
-        return float(stripped[:-1]) * (10.0 ** _PREFIX_EXPONENTS[suffix])
-    # Also accept uppercase variants of the prefixes (K, M means mega in
-    # some writers; SPICE tradition says case-insensitive, with 'm' = milli).
-    if suffix in ("K",):
-        return float(stripped[:-1]) * 1e3
-    if suffix in ("G",):
-        return float(stripped[:-1]) * 1e9
-    if suffix in ("T",):
-        return float(stripped[:-1]) * 1e12
-    return float(stripped)
+        value = float(lowered[:-3]) * 1e6
+    else:
+        suffix = stripped[-1]
+        if suffix in _PREFIX_EXPONENTS and not suffix.isdigit():
+            value = float(stripped[:-1]) * (10.0 ** _PREFIX_EXPONENTS[suffix])
+        # Also accept uppercase variants of the prefixes (K, M means mega in
+        # some writers; SPICE tradition says case-insensitive, 'm' = milli).
+        elif suffix == "K":
+            value = float(stripped[:-1]) * 1e3
+        elif suffix == "G":
+            value = float(stripped[:-1]) * 1e9
+        elif suffix == "T":
+            value = float(stripped[:-1]) * 1e12
+        else:
+            value = float(stripped)
+    if not math.isfinite(value):
+        raise ValueError(f"non-finite value {text!r}")
+    return value
 
 
 def format_bytes(n_bytes: float) -> str:

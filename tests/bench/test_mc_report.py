@@ -1,0 +1,74 @@
+"""Tests for the Monte Carlo benchmark harness and its reports."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.bench.montecarlo import run_mc_benchmark
+from repro.stochastic import (
+    MetalWidthVariation,
+    MonteCarloConfig,
+    TSVVariation,
+    VariationSpec,
+)
+
+SPEC = VariationSpec(
+    width=MetalWidthVariation(sigma=0.05),
+    tsv=TSVVariation(sigma=0.1),
+    name="report-spec",
+)
+
+
+class TestMCReport:
+    def test_table_and_summary(self, small_stack):
+        report = run_mc_benchmark(
+            small_stack, SPEC, 10, seed=0,
+            config=MonteCarloConfig(budget=0.1),
+        )
+        table = report.table()
+        assert "quantile" in table and "p95" in table
+        summary = report.summary()
+        assert "10 samples" in summary
+        assert "refactorizations 0" in summary
+        assert "P(drop" in summary
+
+    def test_naive_comparison_and_parity(self, small_stack):
+        report = run_mc_benchmark(
+            small_stack, SPEC, 8, seed=1, compare_naive=True,
+            parity_subset=3,
+        )
+        assert report.naive_seconds is not None
+        assert report.speedup > 0
+        assert report.parity_samples == 3
+        assert report.max_parity_error <= 2e-4
+        assert "speedup" in report.summary()
+
+    def test_csv_and_json_outputs(self, small_stack, tmp_path):
+        report = run_mc_benchmark(
+            small_stack, SPEC, 12, seed=2,
+            config=MonteCarloConfig(budget=0.05), compare_naive=True,
+        )
+        csv_path = tmp_path / "mc.csv"
+        report.to_csv(csv_path)
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0] == "quantile,worst_drop_mV,ci_low_mV,ci_high_mV"
+        assert len(lines) == 1 + len(report.result.quantiles)
+
+        json_path = tmp_path / "mc.json"
+        report.to_json(json_path)
+        payload = json.loads(json_path.read_text())
+        assert payload["n_samples"] == 12
+        assert payload["spec"]["spec"] == "report-spec"
+        assert payload["violation"]["trials"] == 12
+        assert payload["speedup"] == report.speedup
+        assert payload["convergence"][-1]["n"] == 12
+        for q in payload["quantiles"]:
+            assert q["ci_low_v"] <= q["worst_drop_v"] <= q["ci_high_v"]
+
+    def test_worst_drops_match_population_quantiles(self, small_stack):
+        report = run_mc_benchmark(small_stack, SPEC, 16, seed=3)
+        result = report.result
+        p50 = result.quantile(0.5).value
+        assert p50 == float(np.quantile(result.worst_drops, 0.5))

@@ -317,3 +317,79 @@ class TestCornerSweeps:
             assert np.max(
                 np.abs(batch.scenario_voltages(k) - seq.voltages)
             ) <= INNER_TOL
+
+
+class TestScaledFactorPath:
+    """Metal-width (plane_scale) scenarios ride the scaled-factor fast
+    path: one factorization, per-column rescaled solves, standalone
+    parity."""
+
+    def test_width_scenarios_match_standalone(self, medium_stack):
+        scenarios = [
+            Scenario("narrow", plane_scale=0.8),
+            Scenario("nominal"),
+            Scenario("wide", plane_scale=1.25, load_scale=1.2),
+            Scenario("graded", plane_scale=(0.9, 1.0, 1.15)),
+        ]
+        batch = solve_vp_batch(medium_stack, scenarios)
+        assert batch.converged.all()
+        for k, scenario in enumerate(scenarios):
+            seq = solve_vp(scenario.apply(medium_stack), inner="direct")
+            assert np.max(
+                np.abs(batch.scenario_voltages(k) - seq.voltages)
+            ) <= INNER_TOL
+
+    def test_width_sweep_shares_one_factorization(self, medium_stack):
+        from repro.scenarios import metal_width_sweep
+
+        batch = BatchedVPSolver(
+            medium_stack, metal_width_sweep((0.8, 0.9, 1.0, 1.1, 1.2))
+        )
+        # Replicated tiers plus scaled columns: still a single LU.
+        assert batch.planes.n_factorizations == 1
+        assert batch.solve().converged.all()
+
+    def test_per_segment_spread_matches_standalone(self, medium_stack):
+        rng = np.random.default_rng(3)
+        scenarios = [
+            Scenario(
+                f"mc-{k}",
+                r_seg_scale=rng.lognormal(
+                    0, 0.2, size=medium_stack.pillars.r_seg.shape
+                ),
+            )
+            for k in range(3)
+        ]
+        batch = solve_vp_batch(medium_stack, scenarios)
+        assert batch.converged.all()
+        for k, scenario in enumerate(scenarios):
+            seq = solve_vp(scenario.apply(medium_stack), inner="direct")
+            assert np.max(
+                np.abs(batch.scenario_voltages(k) - seq.voltages)
+            ) <= INNER_TOL
+
+
+class TestPrebuiltPlanes:
+    def test_cached_planes_reused(self, small_stack):
+        from repro.core.planes import PlaneFactorCache
+
+        cache = PlaneFactorCache()
+        scenarios = pad_current_sweep((0.5, 1.0, 1.5))
+        first = BatchedVPSolver(
+            small_stack, scenarios, planes=cache.get(small_stack)
+        )
+        second = BatchedVPSolver(
+            small_stack, scenarios, planes=cache.get(small_stack)
+        )
+        assert first.planes is second.planes
+        assert cache.factorizations == 1 and cache.hits == 1
+        np.testing.assert_array_equal(
+            first.solve().voltages, second.solve().voltages
+        )
+
+    def test_unfactorized_planes_rejected(self, small_stack):
+        from repro.core.planes import ReducedPlaneSystem
+
+        bare = ReducedPlaneSystem(small_stack, factorize=False)
+        with pytest.raises(ReproError):
+            BatchedVPSolver(small_stack, [Scenario("x")], planes=bare)

@@ -84,6 +84,37 @@ class TestConstruction:
         with pytest.raises(GridError):
             TransientVPSolver(stack, [-np.ones((6, 6))] * 2, dt=1e-9)
 
+    def test_negative_dt(self):
+        stack = synthesize_stack(6, 6, 2, rng=0)
+        with pytest.raises(ReproError):
+            TransientVPSolver(stack, 1e-9, dt=-1e-10)
+
+    def test_nonpositive_scalar_capacitance(self):
+        stack = synthesize_stack(6, 6, 2, rng=0)
+        with pytest.raises(ReproError):
+            TransientVPSolver(stack, 0.0, dt=1e-9)
+        with pytest.raises(ReproError):
+            TransientVPSolver(stack, -1e-9, dt=1e-9)
+
+    def test_wrong_tier_count_capacitance(self):
+        stack = synthesize_stack(6, 6, 2, rng=0)
+        with pytest.raises(GridError):
+            TransientVPSolver(stack, [np.full((6, 6), 1e-9)] * 3, dt=1e-9)
+
+    def test_stimulus_wrong_tier_count(self, rc_setup):
+        """A stimulus that returns too few tier load arrays must fail
+        loudly at the first step, not corrupt the companion system."""
+        stack, solver = rc_setup
+        bad = lambda t: [stack.tiers[0].loads.copy()]  # noqa: E731
+        with pytest.raises(GridError):
+            solver.run(2e-9, bad)
+
+    def test_stimulus_wrong_shape(self, rc_setup):
+        stack, solver = rc_setup
+        bad = lambda t: [np.zeros((2, 2))] * stack.n_tiers  # noqa: E731
+        with pytest.raises(GridError):
+            solver.run(2e-9, bad)
+
 
 class TestAgainstDirectTransient:
     def test_step_response_matches_reference(self):

@@ -9,7 +9,12 @@ from repro.errors import GridError
 from repro.grid.generators import synthesize_stack
 from repro.grid.grid2d import Grid2D
 from repro.grid.pads import PAD_SCHEMES, pad_mask, place_pads
-from repro.grid.perturb import perturb_conductances
+from repro.grid.perturb import (
+    perturb_conductances,
+    perturb_grid,
+    perturb_stack,
+    perturb_tsv_resistances,
+)
 from repro.grid.validate import (
     tier_degree_stats,
     validate_grid2d,
@@ -73,6 +78,75 @@ class TestPerturb:
         grid.loads[:] = 1e-3
         out = perturb_conductances(grid, 0.5, rng=1)
         assert np.array_equal(out.loads, grid.loads)
+
+    def test_wrapper_matches_perturb_grid(self):
+        """The historical API is a thin wrapper over perturb_grid."""
+        grid = Grid2D.uniform(5, 5)
+        a = perturb_conductances(grid, 0.3, rng=11)
+        b = perturb_grid(grid, 0.3, rng=11)
+        assert np.array_equal(a.g_h, b.g_h)
+        assert np.array_equal(a.g_v, b.g_v)
+
+
+class TestPerturbGridExtensions:
+    def test_pad_jitter_only_where_pads_exist(self):
+        grid = place_pads(Grid2D.uniform(5, 5), "corners", r_pad=0.5)
+        out = perturb_grid(grid, 0.0, rng=2, sigma_pad=0.4)
+        assert np.array_equal(out.g_h, grid.g_h)  # wires untouched
+        mask = grid.g_pad > 0
+        assert not np.array_equal(out.g_pad[mask], grid.g_pad[mask])
+        assert np.all(out.g_pad[~mask] == 0.0)
+
+    def test_correlated_field_smoother_than_iid(self):
+        grid = Grid2D.uniform(24, 24)
+        iid = perturb_grid(grid, 0.3, rng=3)
+        corr = perturb_grid(grid, 0.3, rng=3, corr_length=6.0, kl_rank=8)
+        def roughness(g):
+            return float(np.abs(np.diff(np.log(g.g_h), axis=1)).mean())
+        assert roughness(corr) < 0.5 * roughness(iid)
+
+    def test_negative_pad_sigma_rejected(self):
+        with pytest.raises(GridError):
+            perturb_grid(Grid2D.uniform(3, 3), 0.1, sigma_pad=-0.1)
+
+
+class TestPerturbStack:
+    def test_all_zero_sigma_is_noop(self, small_stack):
+        """Regression: sigma = 0 must copy the stack bit-for-bit."""
+        out = perturb_stack(small_stack, rng=0)
+        for a, b in zip(out.tiers, small_stack.tiers):
+            assert np.array_equal(a.g_h, b.g_h)
+            assert np.array_equal(a.g_v, b.g_v)
+            assert np.array_equal(a.g_pad, b.g_pad)
+            assert np.array_equal(a.loads, b.loads)
+        assert np.array_equal(out.pillars.r_seg, small_stack.pillars.r_seg)
+
+    def test_tsv_via_jitter(self, small_stack):
+        out = perturb_stack(small_stack, sigma_tsv=0.2, rng=1)
+        assert not np.array_equal(out.pillars.r_seg, small_stack.pillars.r_seg)
+        assert np.all(out.pillars.r_seg > 0)
+        # Planes untouched by a vias-only perturbation.
+        assert np.array_equal(out.tiers[0].g_h, small_stack.tiers[0].g_h)
+
+    def test_tiers_draw_independent_fields(self, small_stack):
+        out = perturb_stack(small_stack, sigma_wire=0.3, rng=4)
+        f0 = out.tiers[0].g_h / small_stack.tiers[0].g_h
+        f1 = out.tiers[1].g_h / small_stack.tiers[1].g_h
+        assert not np.array_equal(f0, f1)
+
+    def test_original_untouched(self, small_stack):
+        reference = small_stack.copy()
+        perturb_stack(small_stack, sigma_wire=0.3, sigma_tsv=0.3, rng=5)
+        assert np.array_equal(
+            small_stack.tiers[0].g_h, reference.tiers[0].g_h
+        )
+        assert np.array_equal(
+            small_stack.pillars.r_seg, reference.pillars.r_seg
+        )
+
+    def test_negative_tsv_sigma_rejected(self, small_stack):
+        with pytest.raises(GridError):
+            perturb_tsv_resistances(small_stack.pillars, -0.1)
 
 
 class TestValidateGrid2D:

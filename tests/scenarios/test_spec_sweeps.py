@@ -12,6 +12,7 @@ from repro.scenarios import (
     cartesian_sweep,
     combine,
     load_corner_sweep,
+    metal_width_sweep,
     pad_current_sweep,
     tsv_design_sweep,
 )
@@ -68,6 +69,56 @@ class TestScenario:
             Scenario("neg", load_scale=-1.0)
         with pytest.raises(ReproError):
             Scenario("zero-r", r_tsv_scale=0.0)
+        with pytest.raises(ReproError):
+            Scenario("zero-w", plane_scale=0.0)
+        with pytest.raises(ReproError):
+            Scenario("neg-seg", r_seg_scale=-np.ones((3, 4)))
+        with pytest.raises(ReproError):
+            Scenario("flat-seg", r_seg_scale=np.ones(4))
+
+    def test_plane_scale_scales_all_conductances(self, small_stack):
+        applied = Scenario("wide", plane_scale=1.25).apply(small_stack)
+        for tier, base in zip(applied.tiers, small_stack.tiers):
+            np.testing.assert_allclose(tier.g_h, base.g_h * 1.25)
+            np.testing.assert_allclose(tier.g_v, base.g_v * 1.25)
+            np.testing.assert_allclose(tier.g_pad, base.g_pad * 1.25)
+            np.testing.assert_array_equal(tier.loads, base.loads)
+
+    def test_per_tier_plane_scale(self, small_stack):
+        applied = Scenario(
+            "graded", plane_scale=(0.8, 1.0, 1.2)
+        ).apply(small_stack)
+        for k, (tier, base) in enumerate(zip(applied.tiers, small_stack.tiers)):
+            np.testing.assert_allclose(
+                tier.g_h, base.g_h * (0.8, 1.0, 1.2)[k]
+            )
+
+    def test_r_seg_scale_per_segment(self, small_stack):
+        spread = np.random.default_rng(0).lognormal(
+            0, 0.2, size=small_stack.pillars.r_seg.shape
+        )
+        applied = Scenario(
+            "spread", r_tsv_scale=2.0, r_seg_scale=spread
+        ).apply(small_stack)
+        np.testing.assert_allclose(
+            applied.pillars.r_seg,
+            small_stack.pillars.r_seg * 2.0 * spread,
+        )
+
+    def test_r_seg_scale_shape_checked_on_apply(self, small_stack):
+        with pytest.raises(GridError):
+            Scenario(
+                "bad-seg", r_seg_scale=np.ones((2, 2))
+            ).apply(small_stack)
+
+    def test_describe_reports_new_knobs(self):
+        record = Scenario(
+            "w", plane_scale=(0.9, 1.1),
+            r_seg_scale=np.full((2, 3), 2.0),
+        ).describe()
+        assert record["plane_scale"] == "0.9x1.1"
+        assert "r_seg_spread" in record
+        assert "plane_scale" not in Scenario("plain").describe()
 
 
 class TestScenarioSet:
@@ -100,8 +151,30 @@ class TestScenarioSet:
     def test_index_of(self):
         scenarios = ScenarioSet([Scenario("a"), Scenario("b")])
         assert scenarios.index_of("b") == 1
-        with pytest.raises(ReproError):
+
+    def test_index_of_missing_name(self):
+        scenarios = ScenarioSet([Scenario("a"), Scenario("b")])
+        with pytest.raises(ReproError, match="zz"):
             scenarios.index_of("zz")
+
+    def test_plane_scale_matrix_and_r_seg_table(self):
+        spread = np.full((2, 3), 1.5)
+        scenarios = ScenarioSet(
+            [
+                Scenario("a", plane_scale=2.0),
+                Scenario("b", plane_scale=(0.5, 1.0)),
+                Scenario("c", r_tsv_scale=2.0, r_seg_scale=spread),
+            ]
+        )
+        alpha = scenarios.plane_scale_matrix(2)
+        np.testing.assert_allclose(alpha[:, 0], 2.0)
+        np.testing.assert_allclose(alpha[:, 1], (0.5, 1.0))
+        np.testing.assert_allclose(alpha[:, 2], 1.0)
+        base = np.full((2, 3), 0.05)
+        table = scenarios.r_seg_table(base)
+        assert table.shape == (2, 3, 3)
+        np.testing.assert_allclose(table[..., 0], base)
+        np.testing.assert_allclose(table[..., 2], base * 3.0)
 
 
 class TestSweepGenerators:
@@ -129,12 +202,27 @@ class TestSweepGenerators:
         stiff = [s for s in grid if s.r_tsv_scale == 2.0]
         assert {s.load_scale for s in stiff} == {0.5, 1.0}
 
+    def test_metal_width_sweep(self):
+        scenarios = metal_width_sweep((0.9, 1.1))
+        assert [s.plane_scale for s in scenarios] == [0.9, 1.1]
+        assert all(s.load_scale == 1.0 for s in scenarios)
+
     def test_combine_per_tier(self):
         a = Scenario("a", load_scale=(1.0, 2.0))
         b = Scenario("b", load_scale=0.5, r_tsv_scale=2.0)
         c = combine(a, b)
         assert c.load_scale == (0.5, 1.0)
         assert c.r_tsv_scale == 2.0
+
+    def test_combine_plane_and_seg_scales(self):
+        spread = np.full((2, 2), 1.1)
+        a = Scenario("a", plane_scale=(0.9, 1.1), r_seg_scale=spread)
+        b = Scenario("b", plane_scale=2.0, r_seg_scale=spread)
+        c = combine(a, b)
+        assert c.plane_scale == (1.8, 2.2)
+        np.testing.assert_allclose(c.r_seg_scale, spread * spread)
+        d = combine(a, Scenario("plain"))
+        np.testing.assert_allclose(d.r_seg_scale, spread)
 
     def test_combine_mismatched_tiers_rejected(self):
         with pytest.raises(ReproError):

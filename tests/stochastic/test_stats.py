@@ -1,0 +1,114 @@
+"""Tests for the Monte Carlo population statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.stochastic import (
+    RunningFieldStats,
+    bootstrap_quantile_ci,
+    convergence_trace,
+    empirical_quantile,
+    quantile_table,
+    violation_probability,
+    wilson_interval,
+)
+
+
+class TestRunningFieldStats:
+    def test_matches_numpy_moments(self):
+        rng = np.random.default_rng(0)
+        fields = rng.normal(size=(40, 3, 5, 5))
+        stats = RunningFieldStats((3, 5, 5))
+        for field in fields:
+            stats.update(field)
+        np.testing.assert_allclose(stats.mean, fields.mean(axis=0))
+        np.testing.assert_allclose(stats.std, fields.std(axis=0, ddof=1))
+
+    def test_batch_update_equals_sequential(self):
+        rng = np.random.default_rng(1)
+        batch = rng.normal(size=(2, 4, 7))  # sample axis last
+        a = RunningFieldStats((2, 4))
+        a.update_batch(batch)
+        b = RunningFieldStats((2, 4))
+        for k in range(7):
+            b.update(batch[..., k])
+        np.testing.assert_allclose(a.mean, b.mean)
+        np.testing.assert_allclose(a.std, b.std)
+
+    def test_variance_zero_below_two_samples(self):
+        stats = RunningFieldStats((2,))
+        stats.update(np.array([1.0, 2.0]))
+        assert np.all(stats.variance == 0)
+
+    def test_shape_mismatch(self):
+        stats = RunningFieldStats((2, 2))
+        with pytest.raises(ReproError):
+            stats.update(np.zeros(3))
+
+
+class TestQuantiles:
+    def test_empirical_quantile_bounds(self):
+        values = np.arange(101, dtype=float)
+        assert empirical_quantile(values, 0.0) == 0.0
+        assert empirical_quantile(values, 1.0) == 100.0
+        with pytest.raises(ReproError):
+            empirical_quantile(values, 1.5)
+        with pytest.raises(ReproError):
+            empirical_quantile(np.array([]), 0.5)
+
+    def test_bootstrap_ci_brackets_estimate_and_is_deterministic(self):
+        rng = np.random.default_rng(2)
+        values = rng.lognormal(0.0, 0.3, size=300)
+        low, high = bootstrap_quantile_ci(values, 0.9, rng=7)
+        low2, high2 = bootstrap_quantile_ci(values, 0.9, rng=7)
+        assert (low, high) == (low2, high2)
+        estimate = empirical_quantile(values, 0.9)
+        assert low <= estimate <= high
+        assert high - low < 0.5 * estimate  # informative, not vacuous
+
+    def test_quantile_table(self):
+        values = np.random.default_rng(3).normal(10.0, 1.0, size=200)
+        table = quantile_table(values, (0.5, 0.95), rng=0)
+        assert [q.q for q in table] == [0.5, 0.95]
+        for q in table:
+            assert q.ci_low <= q.value <= q.ci_high
+            assert q.confidence == 0.95
+
+
+class TestViolation:
+    def test_wilson_interval_sane(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0 and 0.0 < high < 0.15
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0 and 0.85 < low < 1.0
+        low, high = wilson_interval(25, 50)
+        assert low < 0.5 < high
+
+    def test_violation_probability(self):
+        drops = np.array([0.8, 0.9, 1.1, 1.2])
+        estimate = violation_probability(drops, budget=1.0)
+        assert estimate.probability == 0.5
+        assert estimate.violations == 2 and estimate.trials == 4
+        assert estimate.ci_low < 0.5 < estimate.ci_high
+
+    def test_bad_budget(self):
+        with pytest.raises(ReproError):
+            violation_probability(np.ones(3), budget=0.0)
+
+
+class TestConvergenceTrace:
+    def test_trace_ends_at_full_population(self):
+        values = np.random.default_rng(4).normal(size=128)
+        trace = convergence_trace(values)
+        assert trace[-1]["n"] == 128
+        assert trace[-1]["mean"] == pytest.approx(values.mean())
+        counts = [point["n"] for point in trace]
+        assert counts == sorted(set(counts))
+
+    def test_sem_shrinks(self):
+        values = np.random.default_rng(5).normal(size=1000)
+        trace = convergence_trace(values)
+        assert trace[-1]["sem"] < trace[0]["sem"]

@@ -133,6 +133,73 @@ class TestSweep:
         assert "error" in capsys.readouterr().err
 
 
+class TestMonteCarlo:
+    def test_mc_prints_quantiles_and_writes_reports(self, tmp_path, capsys):
+        csv_path = tmp_path / "mc.csv"
+        json_path = tmp_path / "mc.json"
+        assert run_cli(
+            "mc", "--side", "10", "--samples", "12",
+            "--sigma-tsv", "0.15", "--sigma-width", "0.05",
+            "--budget", "0.01", "--seed", "3",
+            "--csv", str(csv_path), "--json", str(json_path),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "quantile" in out and "refactorizations 0" in out
+        assert "P(drop >" in out
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("quantile")
+        assert len(lines) == 5  # header + default 4 quantiles
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["n_samples"] == 12
+        assert payload["stats"]["refactorizations"] == 0
+        for q in payload["quantiles"]:
+            assert q["ci_low_v"] <= q["worst_drop_v"] <= q["ci_high_v"]
+
+    def test_mc_seed_reproducible(self, capsys):
+        def quantile_table():
+            assert run_cli(
+                "mc", "--side", "8", "--samples", "6",
+                "--sigma-tsv", "0.2", "--seed", "9",
+            ) == 0
+            # Header + separator + 4 default quantile rows (the summary
+            # below them contains wall-clock timings).
+            return capsys.readouterr().out.splitlines()[:6]
+
+        assert quantile_table() == quantile_table()
+
+    def test_mc_compare_naive(self, capsys):
+        assert run_cli(
+            "mc", "--side", "8", "--samples", "8",
+            "--sigma-wire", "0.1", "--corr-length", "2", "--seed", "1",
+            "--compare-naive",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "parity" in out
+
+    def test_mc_nothing_varies_is_error(self, capsys):
+        assert run_cli("mc", "--side", "8", "--samples", "4") == 2
+        assert "nothing varies" in capsys.readouterr().err
+
+    def test_sweep_width_scales(self, capsys):
+        assert run_cli(
+            "sweep", "--side", "8", "--load-scales", "1.0",
+            "--width-scales", "0.9,1.1",
+        ) == 0
+        assert "width-" in capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("--version")
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
 class TestErrors:
     def test_missing_subcommand_exits(self):
         with pytest.raises(SystemExit):
