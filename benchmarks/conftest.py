@@ -27,7 +27,7 @@ from pathlib import Path
 import pytest
 
 from repro.bench.circuits import build_circuit
-from repro.bench.reporting import _jsonable
+from repro.bench.reporting import BENCH_SCHEMA_VERSION, _jsonable
 
 BENCH_JSON_DIR_ENV = "REPRO_BENCH_JSON_DIR"
 BENCH_JSON_DEFAULT_DIR = "bench-artifacts"
@@ -83,6 +83,7 @@ def emit_bench_json(request):
         if value is not None:
             timings[field] = float(value)
     payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "name": request.node.name,
         "nodeid": request.node.nodeid,
         "unix_time": time.time(),

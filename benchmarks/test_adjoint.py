@@ -1,0 +1,113 @@
+"""E17 -- adjoint sensitivity: one reverse VP pass vs central FD.
+
+Central finite differences pay two full VP solves per design parameter;
+the adjoint engine prices the whole space with one forward plus one
+reverse pass on the cached plane factors.  Roadmap target: >= 10x over
+the *measured* FD baseline at >= 100 parameters, with gradient parity
+on a sampled subset and zero plane factorizations beyond the cached
+baseline.
+"""
+
+from __future__ import annotations
+
+from repro.bench.adjoint import run_adjoint_benchmark
+from repro.grid.generators import synthesize_stack
+from repro.sensitivity import (
+    MetalWidthParam,
+    ParameterSpace,
+    SmoothWorstDrop,
+    TSVConductanceParam,
+)
+
+#: Speedup target of the tentpole acceptance: >= 10x at >= 100 params.
+TARGET_SPEEDUP = 10.0
+N_TSV_PARAMS = 100
+#: Parity budget of the benchmark subset (the strict rtol=1e-5 check
+#: lives in tests/sensitivity/ on tiny stacks; here FD runs at bench
+#: tolerances on a mid-size grid).
+PARITY_TOL = 1e-3
+
+
+def tsv_subset_space(stack, n_segments: int) -> ParameterSpace:
+    """Per-tier width plus the first ``n_segments`` TSV segments --
+    >= 100 parameters without making the FD baseline run for minutes."""
+    n_pillars = stack.pillars.count
+    segments = [
+        (l, p)
+        for l in range(stack.n_tiers)
+        for p in range(n_pillars)
+    ][:n_segments]
+    return ParameterSpace(
+        stack, [MetalWidthParam(), TSVConductanceParam(segments=segments)]
+    )
+
+
+def test_adjoint_vs_fd_speedup(bench_once, benchmark):
+    stack = synthesize_stack(
+        24, 24, 3, rng=5, replicate_tier=False, name="adjoint-bench"
+    )
+    params = tsv_subset_space(stack, N_TSV_PARAMS)
+    assert params.size >= 100
+
+    report = bench_once(
+        run_adjoint_benchmark,
+        stack,
+        params,
+        SmoothWorstDrop(),
+        fd_params=None,  # measure the FULL FD baseline, no extrapolation
+        parity_subset=8,
+        seed=7,
+    )
+
+    result = report.gradient_result
+    assert result.adjoint_converged
+    assert result.new_factorizations == 0
+    assert report.parity["max_rel_error"] <= PARITY_TOL, (
+        f"adjoint/FD parity {report.parity['max_rel_error']:.2e} exceeds "
+        f"{PARITY_TOL:.0e} on the sampled subset"
+    )
+    assert report.speedup >= TARGET_SPEEDUP, (
+        f"adjoint only x{report.speedup:.1f} over central FD at "
+        f"{params.size} parameters (target x{TARGET_SPEEDUP})"
+    )
+    benchmark.extra_info.update(
+        {
+            "n_params": params.size,
+            "adjoint_seconds": report.adjoint_seconds,
+            "fd_seconds": report.fd_seconds,
+            "speedup": report.speedup,
+            "max_rel_error": report.parity["max_rel_error"],
+            "new_factorizations": result.new_factorizations,
+            "adjoint_outer_iterations": result.adjoint_outer_iterations,
+        }
+    )
+
+
+def test_adjoint_smoke(bench_once, benchmark):
+    """Small, fast end-to-end run -- the CI artifact job executes this
+    one (``-k smoke``) to publish the subsystem's BENCH_*.json perf
+    sample on every push."""
+    stack = synthesize_stack(
+        12, 12, 2, rng=4, replicate_tier=False, name="adjoint-smoke"
+    )
+    params = tsv_subset_space(stack, 12)
+    report = bench_once(
+        run_adjoint_benchmark,
+        stack,
+        params,
+        fd_params=6,
+        parity_subset=6,
+        seed=1,
+    )
+    result = report.gradient_result
+    assert result.adjoint_converged
+    assert result.new_factorizations == 0
+    assert report.parity["max_rel_error"] <= PARITY_TOL
+    benchmark.extra_info.update(
+        {
+            "n_params": params.size,
+            "speedup": report.speedup,
+            "max_rel_error": report.parity["max_rel_error"],
+            "metric_value_v": report.metric_value,
+        }
+    )

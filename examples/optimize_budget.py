@@ -1,0 +1,91 @@
+"""Walkthrough: gradient-based wire-width budget allocation.
+
+The question a designer actually asks after an IR-drop analysis: the
+total routing area is fixed -- *where* should the metal go?  This script
+
+1. builds a 3-tier stack with non-uniform tier activity,
+2. prices every design knob with ONE adjoint (reverse VP) pass,
+3. reallocates per-tier metal width under the fixed total area with the
+   projected-gradient optimizer, worst-casing over two current corners,
+
+and shows that the whole optimization never factorizes a plane matrix
+beyond the cached baseline.
+
+Run:  python examples/optimize_budget.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.planes import PlaneFactorCache
+from repro.grid.generators import synthesize_stack
+from repro.optimize import BudgetConfig, allocate_wire_width
+from repro.scenarios import pad_current_sweep
+from repro.sensitivity import (
+    MetalWidthParam,
+    ParameterSpace,
+    SmoothWorstDrop,
+    TSVConductanceParam,
+    adjoint_gradient,
+)
+from repro.units import si_format
+
+
+def main() -> None:
+    # A 3-tier stack where the bottom tier (farthest from the package
+    # pins) runs hottest -- the classic 3-D worst case.
+    stack = synthesize_stack(
+        24, 24, 3,
+        rng=11,
+        replicate_tier=False,
+        tier_activity=(1.4, 1.0, 0.7),
+        name="budget-demo",
+    )
+    print(f"built {stack}")
+
+    # --- 1. price the design space with one adjoint pass -------------
+    cache = PlaneFactorCache()
+    params = ParameterSpace(stack, [MetalWidthParam(), TSVConductanceParam()])
+    gradients = adjoint_gradient(
+        params, SmoothWorstDrop(), cache=cache
+    )
+    print(
+        f"\nadjoint pass: {gradients.n_params} gradients from "
+        f"{gradients.adjoint_outer_iterations} reverse outer iterations "
+        f"({gradients.new_factorizations} new factorizations)"
+    )
+    print("most valuable design knobs (dm/dp, volts per unit multiplier):")
+    for name, g in gradients.top(5):
+        print(f"  {name:>16s}  {g:+.3e}  ({si_format(g, 'V')})")
+
+    # --- 2. reallocate the metal under the fixed total area ----------
+    corners = pad_current_sweep((0.9, 1.2))
+    result = allocate_wire_width(
+        stack,
+        scenarios=corners,
+        config=BudgetConfig(max_iterations=10),
+        cache=cache,
+    )
+    print(
+        f"\nwidth allocation over corners {result.scenario_names} "
+        f"(area budget {result.budget:g}):"
+    )
+    for t, (w0, w1) in enumerate(zip(result.widths_initial, result.widths)):
+        print(f"  tier {t}: width x{w0:.3f} -> x{w1:.3f}")
+    print(
+        f"worst-case IR drop {si_format(result.drop_initial, 'V')} -> "
+        f"{si_format(result.drop_final, 'V')} "
+        f"(improvement {si_format(result.improvement, 'V')})"
+    )
+    print(
+        f"area used {float(result.area_weights @ result.widths):.6g} of "
+        f"{result.budget:g}; {result.iterations} gradient iterations, "
+        f"{result.new_factorizations} factorizations beyond the baseline"
+    )
+    assert result.drop_final <= result.drop_initial
+    assert np.isclose(float(result.area_weights @ result.widths), result.budget)
+
+
+if __name__ == "__main__":
+    main()

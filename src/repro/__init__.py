@@ -40,6 +40,8 @@ from repro.linalg import cg, solve_direct
 from repro.spice import dc_operating_point, solve_stack_spice
 from repro.analysis import compare_voltages, ir_drop_report
 from repro.stochastic import VariationSpec, run_monte_carlo
+from repro.sensitivity import ParameterSpace, adjoint_gradient
+from repro.optimize import allocate_wire_width, refine_pin_placement
 
 try:  # single source of truth: the installed package metadata
     from importlib.metadata import PackageNotFoundError, version
@@ -73,5 +75,9 @@ __all__ = [
     "ir_drop_report",
     "VariationSpec",
     "run_monte_carlo",
+    "ParameterSpace",
+    "adjoint_gradient",
+    "allocate_wire_width",
+    "refine_pin_placement",
     "__version__",
 ]

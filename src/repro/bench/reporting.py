@@ -8,6 +8,12 @@ from pathlib import Path
 
 from repro.units import format_seconds
 
+#: Version of the ``BENCH_<name>.json`` artifact schema emitted by
+#: ``benchmarks/conftest.py`` (documented in the README benchmark
+#: section).  Bump when fields are added/renamed so downstream perf
+#: tooling can dispatch on it.
+BENCH_SCHEMA_VERSION = 1
+
 
 def _stringify(cell) -> str:
     if cell is None:

@@ -11,6 +11,10 @@ Subcommands (all offline, deterministic with ``--seed``):
   current, TSV design points, metal-width corners) with a CSV/JSON report;
 * ``repro mc`` -- Monte Carlo variation analysis (correlated conductance
   fields, metal-width and TSV spreads) with quantile/violation reports;
+* ``repro sensitivity`` -- adjoint gradients of an IR-drop metric over
+  wire-width/TSV/load design parameters (one reverse VP pass);
+* ``repro optimize`` -- gradient-based design optimization: wire-width
+  budget allocation or pin-placement refinement, before/after reports;
 * ``repro sweep-tsv`` -- experiment E6 (GS degradation vs TSV resistance);
 * ``repro rw-trap`` -- experiment E7 (random-walk trap);
 * ``repro transient`` -- experiment E14 (RC transient droop);
@@ -292,6 +296,171 @@ def cmd_mc(args: argparse.Namespace) -> int:
     return 0 if report.result.converged.all() else 1
 
 
+def _sensitivity_space(stack, which: list[str]):
+    from repro.sensitivity import (
+        LoadCurrentParam,
+        MetalWidthParam,
+        ParameterSpace,
+        TSVConductanceParam,
+    )
+
+    blocks = []
+    for name in which:
+        if name == "width":
+            blocks.append(MetalWidthParam())
+        elif name == "tsv":
+            blocks.append(TSVConductanceParam())
+        elif name == "load":
+            blocks.extend(
+                LoadCurrentParam(t) for t in range(stack.n_tiers)
+            )
+        else:
+            raise ReproError(
+                f"unknown parameter family {name!r}; use width, tsv, load"
+            )
+    return ParameterSpace(stack, blocks)
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import write_csv, write_json
+    from repro.sensitivity import (
+        NodeDrop,
+        SmoothWorstDrop,
+        adjoint_gradient,
+        compare_gradients,
+        finite_difference_gradient,
+    )
+
+    stack = _build_stack(args)
+    families = [f.strip() for f in args.params.split(",") if f.strip()]
+    if not families:
+        raise ReproError("--params needs at least one family")
+    params = _sensitivity_space(stack, families)
+
+    if args.node:
+        try:
+            tier, row, col = (int(v) for v in args.node.split(","))
+        except ValueError:
+            raise ReproError(
+                f"--node expects 'tier,row,col', got {args.node!r}"
+            ) from None
+        metric = NodeDrop(tier, row, col)
+    else:
+        metric = SmoothWorstDrop(beta=args.beta)
+
+    result = adjoint_gradient(params, metric)
+    print(
+        f"{metric.name} = {si_format(result.metric_value, 'V')} over "
+        f"{result.n_params} parameters "
+        f"({result.adjoint_outer_iterations} adjoint outer iterations, "
+        f"{result.new_factorizations} new factorizations)"
+    )
+    rows = [
+        [name, f"{g:.6e}", si_format(g, "V")]
+        for name, g in result.top(args.top)
+    ]
+    print(ascii_table(["parameter", "dm/dp", "per unit"], rows))
+
+    if args.fd_check > 0:
+        rng = np.random.default_rng(args.seed)
+        indices = np.sort(
+            rng.choice(
+                result.n_params,
+                size=min(args.fd_check, result.n_params),
+                replace=False,
+            )
+        )
+        fd = finite_difference_gradient(params, metric, indices=indices)
+        parity = compare_gradients(
+            result.gradient, fd, indices=indices, atol=1e-9
+        )
+        print(
+            f"FD cross-check on {parity['n_compared']} parameters: "
+            f"max rel error {parity['max_rel_error']:.2e}"
+        )
+
+    if args.csv:
+        write_csv(
+            args.csv,
+            ["parameter", "gradient_v_per_unit"],
+            [[n, g] for n, g in zip(result.param_names, result.gradient)],
+        )
+        print(f"wrote {args.csv}")
+    if args.json:
+        write_json(
+            args.json,
+            {
+                "metric": result.metric_name,
+                "metric_value_v": result.metric_value,
+                "n_params": result.n_params,
+                "adjoint_outer_iterations": result.adjoint_outer_iterations,
+                "new_factorizations": result.new_factorizations,
+                "gradients": result.records(),
+            },
+        )
+        print(f"wrote {args.json}")
+    return 0 if result.adjoint_converged else 1
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import write_json
+    from repro.scenarios import pad_current_sweep
+
+    stack = _build_stack(args)
+    scenarios = (
+        pad_current_sweep(_parse_floats(args.load_scales, "--load-scales"))
+        if args.load_scales
+        else None
+    )
+
+    if args.mode == "budget":
+        from repro.optimize import BudgetConfig, allocate_wire_width
+
+        bounds = _parse_floats(args.bounds, "--bounds")
+        if len(bounds) != 2:
+            raise ReproError("--bounds expects 'lo,hi'")
+        result = allocate_wire_width(
+            stack,
+            budget=args.area_budget,
+            bounds=(bounds[0], bounds[1]),
+            scenarios=scenarios,
+            config=BudgetConfig(max_iterations=args.iterations),
+        )
+        rows = [
+            [f"tier {t}", f"{w0:.4f}", f"{w:.4f}"]
+            for t, (w0, w) in enumerate(
+                zip(result.widths_initial, result.widths)
+            )
+        ]
+        print(ascii_table(["tier width", "before", "after"], rows))
+        payload = result.payload()
+    else:
+        from repro.optimize import PlacementConfig, refine_pin_placement
+
+        result = refine_pin_placement(
+            stack,
+            n_pins=args.pins,
+            scenarios=scenarios,
+            config=PlacementConfig(max_rounds=args.iterations),
+        )
+        print(
+            f"{result.n_pins} pins, {len(result.swaps)} accepted swaps in "
+            f"{result.rounds} rounds"
+        )
+        payload = result.payload()
+
+    print(
+        f"worst-case IR drop: {si_format(result.drop_initial, 'V')} -> "
+        f"{si_format(result.drop_final, 'V')} "
+        f"(improvement {si_format(result.improvement, 'V')}, "
+        f"{result.new_factorizations} new factorizations)"
+    )
+    if args.json:
+        write_json(args.json, payload)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_sweep_tsv(args: argparse.Namespace) -> int:
     r_values = tuple(float(r) for r in args.r_values.split(","))
     points = tsv_resistance_sweep(args.side, r_values, seed=args.seed)
@@ -509,6 +678,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", help="write the quantile table as CSV")
     p.add_argument("--json", help="write the full report as JSON")
     p.set_defaults(func=cmd_mc)
+
+    p = sub.add_parser(
+        "sensitivity",
+        help="adjoint gradients of an IR-drop metric over design parameters",
+    )
+    _add_stack_arguments(p)
+    p.add_argument(
+        "--params", default="width,tsv,load",
+        help="comma-separated parameter families: width (per-tier metal), "
+        "tsv (per-segment conductance), load (per-tier current)",
+    )
+    p.add_argument(
+        "--node", default=None,
+        help="probe-node metric 'tier,row,col' instead of the smooth "
+        "worst drop",
+    )
+    p.add_argument(
+        "--beta", type=float, default=2000.0,
+        help="smooth-max sharpness (1/V) of the worst-drop metric",
+    )
+    p.add_argument(
+        "--top", type=int, default=10,
+        help="how many largest-|gradient| parameters to print",
+    )
+    p.add_argument(
+        "--fd-check", type=int, default=0,
+        help="cross-check this many sampled gradients against central "
+        "finite differences (2 solves each)",
+    )
+    p.add_argument("--csv", help="write all gradients as CSV")
+    p.add_argument("--json", help="write the full report as JSON")
+    p.set_defaults(func=cmd_sensitivity)
+
+    p = sub.add_parser(
+        "optimize",
+        help="gradient-based design optimization (adjoint-driven)",
+    )
+    _add_stack_arguments(p)
+    p.add_argument(
+        "--mode", choices=("budget", "placement"), default="budget",
+        help="budget: per-tier wire-width allocation under a fixed area; "
+        "placement: greedy pin refinement at a fixed pin count",
+    )
+    p.add_argument(
+        "--load-scales", default=None,
+        help="comma-separated current corners to optimize the worst "
+        "case over (default: nominal only)",
+    )
+    p.add_argument(
+        "--area-budget", type=float, default=None,
+        help="total area sum(w_l) the widths must meet (default: the "
+        "base design's area -- pure reallocation)",
+    )
+    p.add_argument(
+        "--bounds", default="0.5,2.5",
+        help="per-tier width bounds 'lo,hi'",
+    )
+    p.add_argument(
+        "--pins", type=int, default=None,
+        help="placement mode: target pin count (default: keep current)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=12,
+        help="gradient iterations (budget) / swap rounds (placement)",
+    )
+    p.add_argument("--json", help="write the before/after report as JSON")
+    p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser("sweep-tsv", help="E6: GS vs TSV resistance")
     p.add_argument("--side", type=int, default=24)

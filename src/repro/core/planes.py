@@ -200,6 +200,7 @@ class ReducedPlaneSystem:
         pillar_v: np.ndarray,
         b_free: np.ndarray | None = None,
         scale=None,
+        trans: str = "N",
     ) -> np.ndarray:
         """Solve one tier's reduced system for the free-node voltages.
 
@@ -213,6 +214,9 @@ class ReducedPlaneSystem:
         ``alpha A_ff x = b_f - alpha A_fp v_p``, so the *unscaled*
         factorization is reused -- scale the coupling, back-substitute,
         divide by ``alpha``.  Scalar, or ``(S,)`` applying per column.
+
+        ``trans="T"`` back-substitutes on the transposed factors (see
+        :meth:`solve_free_transpose`).
         """
         if not self.factorized:
             raise RuntimeError(
@@ -222,10 +226,34 @@ class ReducedPlaneSystem:
         rhs = self.reduced_rhs(tier_index, pillar_v, b_free, scale=scale)
         if rhs.ndim == 2 and not rhs.flags.f_contiguous:
             rhs = np.asfortranarray(rhs)
-        x = self.a_ff[tier_index].solve(rhs)
+        x = self.a_ff[tier_index].solve(rhs, trans=trans)
         if scale is not None:
             x = x / scale
         return x
+
+    def solve_free_transpose(
+        self,
+        tier_index: int,
+        pillar_v: np.ndarray,
+        b_free: np.ndarray | None = None,
+        scale=None,
+    ) -> np.ndarray:
+        """Adjoint (transpose) solve of one tier's reduced system.
+
+        The adjoint of the 3-D grid system runs on ``G^T``; per tier
+        that is ``A_ff^T x = g_f - A_pf^T v_p``.  The plane matrices are
+        symmetric nodal Laplacians, so the coupling block ``A_pf^T``
+        coincides with the stored ``A_fp`` -- what distinguishes this
+        entry is the back-substitution on the *transposed* LU factors
+        (``U^T L^T``), which makes the adjoint exact down to round-off
+        without a single new factorization.  This is the hot path of the
+        sensitivity engine (:mod:`repro.sensitivity.adjoint`); its
+        zero-refactorization contract is counter-asserted through
+        :class:`PlaneFactorCache` exactly like the Monte Carlo driver's.
+        """
+        return self.solve_free(
+            tier_index, pillar_v, b_free=b_free, scale=scale, trans="T"
+        )
 
     def assemble(
         self, x_free: np.ndarray, pillar_v: np.ndarray

@@ -204,10 +204,18 @@ class VPResult:
         :func:`repro.grid.conductance.stack_system` ordering."""
         return self.voltages.ravel()
 
+    def drop_field(self, v_nominal: float | None = None) -> np.ndarray:
+        """Per-node IR drop ``|v_ref - v|`` as a ``(T, R, C)`` array.
+
+        The field the sensitivity metrics and the optimizers consume
+        (uses the stack pin voltage by default).
+        """
+        reference = self.info_v_pin if v_nominal is None else v_nominal
+        return np.abs(reference - self.voltages)
+
     def worst_ir_drop(self, v_nominal: float | None = None) -> float:
         """Worst IR drop in volts (uses the stack pin voltage by default)."""
-        reference = self.info_v_pin if v_nominal is None else v_nominal
-        return float(np.max(np.abs(reference - self.voltages)))
+        return float(np.max(self.drop_field(v_nominal)))
 
     # set by the solver; kept out of __init__ noise
     info_v_pin: float = 0.0

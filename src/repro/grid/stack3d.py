@@ -207,6 +207,28 @@ class PowerGridStack:
         mask = self.pillar_mask()
         return int(sum(np.count_nonzero(t.loads[mask]) for t in self.tiers))
 
+    def with_pin_mask(self, has_pin: np.ndarray) -> "PowerGridStack":
+        """The same grid under a different package bump map.
+
+        Tiers are shared, not copied: pin masks only affect the
+        propagation phase (and the topmost segment folding), never the
+        per-tier plane matrices, so the returned stack keeps the same
+        plane-factor cache key -- the property the pin-placement
+        optimizer's candidate evaluations rely on.
+        """
+        has_pin = np.asarray(has_pin, dtype=bool)
+        return PowerGridStack(
+            tiers=self.tiers,
+            pillars=PillarSet(
+                positions=self.pillars.positions,
+                r_seg=self.pillars.r_seg,
+                v_pin=self.pillars.v_pin,
+                has_pin=has_pin.copy(),
+            ),
+            name=self.name,
+            net=self.net,
+        )
+
     def copy(self) -> "PowerGridStack":
         return PowerGridStack(
             tiers=[t.copy() for t in self.tiers],

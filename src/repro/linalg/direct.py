@@ -47,13 +47,22 @@ class DirectSolver:
         # 4-byte index; permutation vectors add 2 * 4 * n.
         return int(self._lu.nnz * 12 + 8 * self.n)
 
-    def solve(self, b: np.ndarray) -> np.ndarray:
+    def solve(self, b: np.ndarray, trans: str = "N") -> np.ndarray:
         """Back-substitute one or many right-hand sides.
 
         ``b`` may be ``(n,)`` or ``(n, k)``; the multi-column form solves
         all ``k`` systems against the cached factorization in one call
         (the batched scenario engine's CVN hot path).
+
+        ``trans="T"`` solves the transposed system ``A^T x = b`` against
+        the *same* factors (``U^T L^T`` back-substitution) -- the adjoint
+        solve of the sensitivity engine, at zero extra factorization
+        cost.
         """
+        if trans not in ("N", "T"):
+            raise SingularSystemError(
+                f"trans must be 'N' or 'T', got {trans!r}"
+            )
         b = np.asarray(b, dtype=float)
         if b.ndim not in (1, 2):
             raise SingularSystemError(
@@ -65,7 +74,7 @@ class DirectSolver:
             )
         if b.ndim == 2 and b.shape[1] == 0:
             return np.empty_like(b)
-        x = self._lu.solve(b)
+        x = self._lu.solve(b, trans=trans)
         if not np.all(np.isfinite(x)):
             raise SingularSystemError(
                 "direct solve produced non-finite values (singular system?)"

@@ -1,0 +1,34 @@
+"""Gradient-based design optimization of 3-D power grids.
+
+Built on the adjoint sensitivity engine (:mod:`repro.sensitivity`):
+every iteration prices the whole design space with one reverse VP pass
+and evaluates candidates with batched forward solves on the shared
+plane factors -- zero refactorizations end to end.
+
+* :func:`allocate_wire_width` -- projected-gradient per-tier metal-width
+  allocation under a total-area budget;
+* :func:`refine_pin_placement` -- greedy pin/TSV placement refinement
+  steered by adjoint prices.
+"""
+
+from repro.optimize.budget import (
+    BudgetConfig,
+    BudgetResult,
+    allocate_wire_width,
+    project_to_budget,
+)
+from repro.optimize.placement import (
+    PlacementConfig,
+    PlacementResult,
+    refine_pin_placement,
+)
+
+__all__ = [
+    "BudgetConfig",
+    "BudgetResult",
+    "PlacementConfig",
+    "PlacementResult",
+    "allocate_wire_width",
+    "project_to_budget",
+    "refine_pin_placement",
+]

@@ -225,6 +225,21 @@ class ScenarioSet(Sequence):
                 return k
         raise ReproError(f"no scenario named {name!r}")
 
+    def crossed_with(self, design: Scenario, sep: str = "+") -> "ScenarioSet":
+        """Overlay one *design* scenario onto every operating scenario.
+
+        The optimizer evaluates a candidate design point (e.g. a
+        metal-width vector as ``plane_scale``) against all operating
+        corners at once: scales compose multiplicatively per scenario
+        (see :func:`repro.scenarios.sweeps.combine`), and the whole
+        crossed set still shares the base factorization.
+        """
+        from repro.scenarios.sweeps import combine
+
+        return ScenarioSet(
+            [combine(design, s, sep=sep) for s in self.scenarios]
+        )
+
     # ------------------------------------------------------------------
     def load_scale_matrix(self, n_tiers: int) -> np.ndarray:
         """``(T, S)`` per-tier load multipliers, one column per scenario."""

@@ -35,9 +35,17 @@ def si_format(value: float, unit: str = "", digits: int = 3) -> str:
         return f"{value:g}{unit}"
     exponent = int(math.floor(math.log10(abs(value)) / 3.0) * 3)
     exponent = max(min(exponent, 12), -15)
-    prefix = _SI_PREFIXES[exponent]
     scaled = value / (10.0**exponent)
-    return f"{scaled:.{digits}g}{prefix}{unit}"
+    text = f"{scaled:.{digits}g}"
+    # Rounding at a prefix boundary can carry the mantissa to 1000
+    # (e.g. 999.9999 -> "1e+03"); roll into the next prefix instead so
+    # the result reads "1k", not "1e+03".  At the top prefix there is
+    # nowhere to carry to, so the clamped rendering stands.
+    if abs(float(text)) >= 1000.0 and exponent < 12:
+        exponent += 3
+        scaled = value / (10.0**exponent)
+        text = f"{scaled:.{digits}g}"
+    return f"{text}{_SI_PREFIXES[exponent]}{unit}"
 
 
 def si_parse(text: str) -> float:

@@ -1,0 +1,62 @@
+"""Adjoint benchmark harness: report rendering and bookkeeping (tiny
+run -- the paper-scale measurement lives in benchmarks/)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.bench.adjoint import run_adjoint_benchmark
+from repro.bench.reporting import BENCH_SCHEMA_VERSION
+from repro.grid.generators import synthesize_stack
+from repro.sensitivity import (
+    MetalWidthParam,
+    ParameterSpace,
+    TSVConductanceParam,
+)
+
+
+def tiny_report():
+    stack = synthesize_stack(8, 8, 2, rng=2, name="adj-report")
+    params = ParameterSpace(
+        stack,
+        [MetalWidthParam(), TSVConductanceParam(segments=[(0, 0), (1, 3)])],
+    )
+    return run_adjoint_benchmark(
+        stack, params, fd_params=2, parity_subset=2, seed=0
+    )
+
+
+def test_report_contents(tmp_path):
+    report = tiny_report()
+    assert report.n_params == 4
+    assert report.fd_params == 2
+    assert report.gradient_result.new_factorizations == 0
+    assert report.parity["max_rel_error"] < 1e-3
+    assert report.speedup > 0
+
+    table = report.table()
+    assert "parameter" in table and "rel_error" in table
+    summary = report.summary()
+    assert "4 parameters" in summary
+
+    csv_path = tmp_path / "adj.csv"
+    report.to_csv(csv_path)
+    with csv_path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0][0] == "parameter"
+    assert len(rows) == 1 + report.parity["n_compared"]
+
+    json_path = tmp_path / "adj.json"
+    report.to_json(json_path)
+    payload = json.loads(json_path.read_text())
+    assert payload["speedup"] == report.speedup
+    assert payload["new_factorizations"] == 0
+    assert len(payload["subset"]) == report.parity["n_compared"]
+
+
+def test_bench_schema_version_is_stable():
+    """The BENCH_*.json artifact schema is versioned (and documented in
+    the README); bump deliberately, not by accident."""
+    assert isinstance(BENCH_SCHEMA_VERSION, int)
+    assert BENCH_SCHEMA_VERSION == 1

@@ -249,6 +249,62 @@ class TestSolverReuse:
         with pytest.raises(GridError):
             solver.update_loads([np.zeros((2, 2))] * 3)
 
+    def test_update_loads_validates_tier_count(self, medium_stack):
+        solver = VoltagePropagationSolver(medium_stack)
+        shape = (medium_stack.rows, medium_stack.cols)
+        with pytest.raises(GridError):
+            solver.update_loads([np.zeros(shape)] * 2)
+        with pytest.raises(GridError):
+            solver.update_loads([np.zeros(shape)] * 4)
+
+    @pytest.mark.parametrize("inner", ["direct", "cg"])
+    def test_update_loads_refreshes_reduced_rhs(self, medium_stack, inner):
+        """The reduced-mode (free/pillar-partitioned) base RHS must track
+        a load swap: an updated solver matches a solver built fresh on
+        the swapped loads."""
+        stack = medium_stack.copy()
+        solver = VoltagePropagationSolver(stack, VPConfig(inner=inner))
+        solver.solve()
+
+        rng = np.random.default_rng(7)
+        mask = ~stack.pillar_mask()
+        new_loads = []
+        for tier in stack.tiers:
+            loads = np.zeros_like(tier.loads)
+            loads[mask] = rng.uniform(0.0, 2e-3, size=int(mask.sum()))
+            new_loads.append(loads)
+        solver.update_loads(new_loads)
+        updated = solver.solve()
+
+        fresh_stack = medium_stack.copy()
+        for tier, loads in zip(fresh_stack.tiers, new_loads):
+            tier.loads = loads.copy()
+        fresh = VoltagePropagationSolver(
+            fresh_stack, VPConfig(inner=inner)
+        ).solve()
+        assert updated.converged and fresh.converged
+        assert np.max(np.abs(updated.voltages - fresh.voltages)) < 0.5e-3
+
+    @pytest.mark.parametrize("inner", ["direct", "cg"])
+    def test_update_loads_reduced_mode_validations(self, medium_stack, inner):
+        """Error paths must hold for the reduced inner solvers too (they
+        refresh per-tier RHS slices, not the rb base fields)."""
+        solver = VoltagePropagationSolver(
+            medium_stack.copy(), VPConfig(inner=inner)
+        )
+        shape = (medium_stack.rows, medium_stack.cols)
+        with pytest.raises(GridError):
+            solver.update_loads([np.zeros(shape)] * 2)
+        with pytest.raises(GridError):
+            solver.update_loads(
+                [np.zeros((3, 3))] * medium_stack.n_tiers
+            )
+        bad = [np.zeros(shape) for _ in range(medium_stack.n_tiers)]
+        position = medium_stack.pillars.positions[0]
+        bad[1][position[0], position[1]] = 1e-3
+        with pytest.raises(GridError):
+            solver.update_loads(bad)
+
     def test_tier_sharing_detected(self, medium_stack):
         """Replicated tiers share one row-based solver structure."""
         solver = VoltagePropagationSolver(medium_stack)

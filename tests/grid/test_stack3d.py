@@ -126,3 +126,16 @@ class TestPowerGridStack:
         clone.pillars.r_seg[0, 0] = 99.0
         assert stack.tiers[0].loads[1, 1] == 0.0
         assert stack.pillars.r_seg[0, 0] == 0.05
+
+    def test_with_pin_mask_shares_planes_keeps_signature(self):
+        from repro.core.planes import stack_plane_signature
+
+        stack = make_stack()
+        mask = stack.pillars.has_pin.copy()
+        mask[0] = False
+        swapped = stack.with_pin_mask(mask)
+        assert swapped.tiers[0] is stack.tiers[0]  # tiers shared
+        assert not swapped.pillars.has_pin[0]
+        assert stack.pillars.has_pin[0]  # original untouched
+        # Pin maps never enter the plane matrices: same cache key.
+        assert stack_plane_signature(swapped) == stack_plane_signature(stack)

@@ -1,0 +1,177 @@
+"""Optimizers: budget allocation and pin placement on small stacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.planes import PlaneFactorCache
+from repro.errors import ReproError
+from repro.grid.generators import synthesize_stack
+from repro.optimize import (
+    BudgetConfig,
+    PlacementConfig,
+    allocate_wire_width,
+    project_to_budget,
+    refine_pin_placement,
+)
+from repro.scenarios.sweeps import pad_current_sweep
+
+
+@pytest.fixture
+def stack():
+    # Non-uniform tier activity so uniform width is off-optimal.
+    return synthesize_stack(
+        12, 12, 3,
+        rng=1,
+        replicate_tier=False,
+        tier_activity=(1.4, 1.0, 0.7),
+        name="opt-test",
+    )
+
+
+class TestProjection:
+    def test_projection_hits_budget_and_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            y = rng.normal(1.0, 0.8, size=4)
+            area = rng.uniform(0.5, 2.0, size=4)
+            budget = float(area.sum())
+            w = project_to_budget(y, area, budget, 0.4, 2.5)
+            assert np.all(w >= 0.4 - 1e-9) and np.all(w <= 2.5 + 1e-9)
+            assert float(area @ w) == pytest.approx(budget, abs=1e-6)
+
+    def test_feasible_point_is_fixed(self):
+        y = np.array([1.0, 1.0, 1.0])
+        w = project_to_budget(y, np.ones(3), 3.0, 0.5, 2.0)
+        assert np.allclose(w, y)
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(ReproError):
+            project_to_budget(np.ones(3), np.ones(3), 10.0, 0.5, 2.0)
+        with pytest.raises(ReproError):
+            project_to_budget(np.ones(3), np.ones(3), 0.1, 0.5, 2.0)
+
+
+class TestBudgetAllocation:
+    def test_reduces_worst_drop_at_fixed_area(self, stack):
+        cache = PlaneFactorCache()
+        result = allocate_wire_width(
+            stack,
+            config=BudgetConfig(max_iterations=10),
+            cache=cache,
+        )
+        assert result.improvement > 0, "allocation failed to improve"
+        assert result.drop_final < result.drop_initial
+        # Constraint respected exactly; bounds too.
+        assert float(result.area_weights @ result.widths) == pytest.approx(
+            result.budget, abs=1e-6
+        )
+        assert np.all(result.widths >= 0.5) and np.all(result.widths <= 2.5)
+        # The hottest (bottom) tier should have gained metal.
+        assert result.widths[0] > result.widths[2]
+        # Zero factorizations beyond the cached baseline.
+        assert result.new_factorizations == 0
+        assert result.history[0]["worst_drop_v"] == pytest.approx(
+            result.drop_initial
+        )
+
+    def test_worst_case_over_corners(self, stack):
+        corners = pad_current_sweep((0.8, 1.2))
+        result = allocate_wire_width(
+            stack,
+            scenarios=corners,
+            config=BudgetConfig(max_iterations=6),
+        )
+        assert result.scenario_names == ["iload-x0.8", "iload-x1.2"]
+        assert result.improvement >= 0
+        assert result.new_factorizations == 0
+        # The binding corner of every recorded iterate is the hot one.
+        assert all(
+            h["binding_scenario"].endswith("iload-x1.2")
+            for h in result.history
+        )
+
+    def test_history_ends_on_returned_design(self, stack):
+        result = allocate_wire_width(
+            stack, config=BudgetConfig(max_iterations=10)
+        )
+        last = result.history[-1]
+        assert last["selected"] is True
+        assert last["widths"] == pytest.approx(result.widths.tolist())
+        assert last["worst_drop_v"] == pytest.approx(result.drop_final)
+
+    def test_payload_carries_before_after(self, stack):
+        result = allocate_wire_width(
+            stack, config=BudgetConfig(max_iterations=3)
+        )
+        payload = result.payload()
+        assert payload["worst_drop_before_v"] >= payload["worst_drop_after_v"]
+        assert payload["improvement_v"] == pytest.approx(
+            payload["worst_drop_before_v"] - payload["worst_drop_after_v"]
+        )
+        assert len(payload["history"]) >= 1
+
+    def test_validation(self, stack):
+        with pytest.raises(ReproError):
+            allocate_wire_width(stack, area_weights=np.ones(7))
+        with pytest.raises(ReproError):
+            allocate_wire_width(stack, budget=100.0)  # infeasible
+        with pytest.raises(ReproError):
+            BudgetConfig(max_iterations=0)
+
+
+class TestPinPlacement:
+    @pytest.fixture
+    def sparse_stack(self):
+        return synthesize_stack(
+            12, 12, 2, rng=3, pin_fraction=0.35, name="sparse-pins"
+        )
+
+    def test_refinement_improves_or_holds(self, sparse_stack):
+        cache = PlaneFactorCache()
+        result = refine_pin_placement(sparse_stack, cache=cache)
+        assert result.drop_final <= result.drop_initial
+        assert result.n_pins == int(result.has_pin_initial.sum())
+        assert result.new_factorizations == 0
+        # The random 35% pin map on this seed is genuinely improvable.
+        assert result.improvement > 0
+        assert len(result.swaps) >= 1
+
+    def test_pin_count_retargeting(self, sparse_stack):
+        current = int(sparse_stack.pillars.has_pin.sum())
+        result = refine_pin_placement(
+            sparse_stack,
+            n_pins=current + 3,
+            config=PlacementConfig(max_rounds=2),
+        )
+        assert result.n_pins == current + 3
+        # The payload distinguishes the input design from the
+        # retargeted refinement baseline.
+        payload = result.payload()
+        assert payload["n_pins_input"] == current
+        assert int(result.has_pin_input.sum()) == current
+        assert payload["worst_drop_input_v"] >= payload["worst_drop_before_v"]
+        fewer = refine_pin_placement(
+            sparse_stack,
+            n_pins=current - 3,
+            config=PlacementConfig(max_rounds=2),
+        )
+        assert fewer.n_pins == current - 3
+        # More pins can only help a refined map vs the pruned one.
+        assert result.drop_final <= fewer.drop_final
+
+    def test_input_stack_is_untouched(self, sparse_stack):
+        before = sparse_stack.pillars.has_pin.copy()
+        refine_pin_placement(
+            sparse_stack, config=PlacementConfig(max_rounds=1)
+        )
+        assert np.array_equal(sparse_stack.pillars.has_pin, before)
+
+    def test_validation(self, sparse_stack):
+        with pytest.raises(ReproError):
+            refine_pin_placement(sparse_stack, n_pins=0)
+        with pytest.raises(ReproError):
+            refine_pin_placement(sparse_stack, n_pins=10**6)
+        with pytest.raises(ReproError):
+            PlacementConfig(max_rounds=0)

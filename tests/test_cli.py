@@ -190,6 +190,88 @@ class TestMonteCarlo:
         assert "width-" in capsys.readouterr().out
 
 
+class TestSensitivity:
+    def test_prints_top_gradients_and_writes_reports(self, tmp_path, capsys):
+        csv = tmp_path / "grads.csv"
+        json_path = tmp_path / "grads.json"
+        assert run_cli(
+            "sensitivity", "--side", "8", "--tiers", "2",
+            "--top", "3",
+            "--csv", str(csv), "--json", str(json_path),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "worst-drop" in out
+        assert "0 new factorizations" in out
+        assert "width[tier" in out
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["new_factorizations"] == 0
+        assert len(payload["gradients"]) == payload["n_params"]
+        assert csv.read_text().startswith("parameter,")
+
+    def test_fd_check_reports_parity(self, capsys):
+        assert run_cli(
+            "sensitivity", "--side", "6", "--tiers", "2",
+            "--params", "width,load", "--fd-check", "2",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "FD cross-check on 2 parameters" in out
+
+    def test_node_metric_and_bad_inputs(self, capsys):
+        assert run_cli(
+            "sensitivity", "--side", "6", "--tiers", "2",
+            "--node", "0,2,2", "--params", "tsv",
+        ) == 0
+        assert "node-drop" in capsys.readouterr().out
+        assert run_cli(
+            "sensitivity", "--side", "6", "--node", "nope"
+        ) == 2
+        assert run_cli(
+            "sensitivity", "--side", "6", "--params", "quantum"
+        ) == 2
+
+
+class TestOptimize:
+    def test_budget_mode_reduces_drop(self, tmp_path, capsys):
+        json_path = tmp_path / "budget.json"
+        assert run_cli(
+            "optimize", "--side", "10", "--tiers", "3",
+            "--mode", "budget", "--iterations", "4",
+            "--json", str(json_path),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "worst-case IR drop" in out
+        assert "0 new factorizations" in out
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert (
+            payload["worst_drop_after_v"] <= payload["worst_drop_before_v"]
+        )
+
+    def test_placement_mode(self, capsys):
+        assert run_cli(
+            "optimize", "--side", "10", "--tiers", "2",
+            "--mode", "placement", "--pins", "20", "--iterations", "2",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "20 pins" in out
+        assert "worst-case IR drop" in out
+
+    def test_optimize_over_corners(self, capsys):
+        assert run_cli(
+            "optimize", "--side", "8", "--mode", "budget",
+            "--load-scales", "0.9,1.1", "--iterations", "2",
+        ) == 0
+        assert "worst-case IR drop" in capsys.readouterr().out
+
+    def test_bad_bounds(self, capsys):
+        assert run_cli(
+            "optimize", "--side", "8", "--bounds", "0.5"
+        ) == 2
+
+
 class TestVersion:
     def test_version_flag(self, capsys):
         from repro import __version__

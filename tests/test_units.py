@@ -39,6 +39,50 @@ class TestSiFormat:
         assert si_format(1.23456e-3, "V", digits=5) == "1.2346mV"
 
 
+class TestSiFormatPrefixBoundaries:
+    """Rounding at a prefix boundary must carry into the next prefix
+    (regression: ``si_format(999.9999, "V")`` rendered ``"1e+03V"``)."""
+
+    #: Exponents of every prefix that has a neighbour above it.
+    CARRY_EXPONENTS = [-15, -12, -9, -6, -3, 0, 3, 6, 9]
+    PREFIX = {-15: "f", -12: "p", -9: "n", -6: "u", -3: "m",
+              0: "", 3: "k", 6: "M", 9: "G", 12: "T"}
+
+    def test_carry_to_kilo(self):
+        assert si_format(999.9999, "V") == "1kV"
+
+    def test_just_below_boundary_stays(self):
+        assert si_format(999.4, "V") == "999V"
+
+    def test_carry_to_milli_from_micro(self):
+        assert si_format(0.0009999999, "V") == "1mV"
+
+    def test_just_below_milli_stays_micro(self):
+        assert si_format(0.000999, "V") == "999uV"
+
+    def test_carry_to_unit(self):
+        assert si_format(0.9999999, "V") == "1V"
+
+    @pytest.mark.parametrize("exponent", CARRY_EXPONENTS)
+    def test_carry_side_of_each_prefix(self, exponent):
+        value = 999.9999 * 10.0**exponent
+        expected_prefix = self.PREFIX[exponent + 3]
+        assert si_format(value, "V") == f"1{expected_prefix}V"
+
+    @pytest.mark.parametrize("exponent", CARRY_EXPONENTS + [12])
+    def test_stay_side_of_each_prefix(self, exponent):
+        value = 999.0 * 10.0**exponent
+        assert si_format(value, "V") == f"999{self.PREFIX[exponent]}V"
+
+    def test_negative_values_carry_too(self):
+        assert si_format(-999.9999, "V") == "-1kV"
+
+    def test_top_prefix_cannot_carry(self):
+        # Above tera there is no next prefix; the clamped rendering
+        # (scientific mantissa on the T prefix) is the documented out.
+        assert si_format(999.9999e12, "V").endswith("TV")
+
+
 class TestSiParse:
     def test_plain_number(self):
         assert si_parse("0.05") == pytest.approx(0.05)
