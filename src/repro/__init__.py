@@ -35,6 +35,8 @@ from repro.core import (
     TransientVPSolver,
     step_stimulus,
     pulse_train_stimulus,
+    BatchedTransientSolver,
+    solve_transient_batch,
 )
 from repro.linalg import cg, solve_direct
 from repro.spice import dc_operating_point, solve_stack_spice
@@ -67,6 +69,8 @@ __all__ = [
     "TransientVPSolver",
     "step_stimulus",
     "pulse_train_stimulus",
+    "BatchedTransientSolver",
+    "solve_transient_batch",
     "cg",
     "solve_direct",
     "dc_operating_point",

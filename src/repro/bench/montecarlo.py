@@ -139,11 +139,9 @@ class MCReport:
         return out
 
     def to_csv(self, path) -> None:
-        """Quantile table (volts) -- the sign-off numbers with their CIs."""
-        rows = [
-            [q.q, q.value, q.ci_low, q.ci_high] for q in self.result.quantiles
-        ]
-        write_csv(path, MC_QUANTILE_HEADERS, rows)
+        """Quantile table -- the sign-off numbers with their CIs, in the
+        millivolt units the headers promise (same rows as the table)."""
+        write_csv(path, MC_QUANTILE_HEADERS, self.quantile_rows())
 
     def to_json(self, path) -> None:
         write_json(path, self.payload())

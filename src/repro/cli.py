@@ -17,7 +17,9 @@ Subcommands (all offline, deterministic with ``--seed``):
   budget allocation or pin-placement refinement, before/after reports;
 * ``repro sweep-tsv`` -- experiment E6 (GS degradation vs TSV resistance);
 * ``repro rw-trap`` -- experiment E7 (random-walk trap);
-* ``repro transient`` -- experiment E14 (RC transient droop);
+* ``repro transient`` -- experiment E14 (RC transient droop); with
+  ``--sweep``, a batched multi-scenario droop sweep (load-step corners,
+  ramp/pulse shapes, decap placements) sharing companion factors;
 * ``repro phases`` -- experiment E10 (VP phase breakdown).
 """
 
@@ -501,10 +503,83 @@ def cmd_rw_trap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _transient_sweep_scenarios(args: argparse.Namespace, n_tiers: int):
+    from repro.scenarios import (
+        cartesian_sweep,
+        decap_placement_sweep,
+        load_step_sweep,
+        pulse_shape_sweep,
+        ramp_shape_sweep,
+    )
+
+    stimulus_options = [
+        opt
+        for opt, value in (
+            ("--step-corners", args.step_corners),
+            ("--ramp-rises", args.ramp_rises),
+            ("--pulse-duties", args.pulse_duties),
+        )
+        if value is not None
+    ]
+    if len(stimulus_options) > 1:
+        raise ReproError(
+            f"{' and '.join(stimulus_options)} are mutually exclusive "
+            "(one stimulus family per sweep)"
+        )
+    if args.ramp_rises is not None:
+        rises = _parse_floats(args.ramp_rises, "--ramp-rises")
+        stimuli = ramp_shape_sweep(
+            rises, t_start=args.t_step, before=args.before, after=args.after
+        )
+    elif args.pulse_duties is not None:
+        duties = _parse_floats(args.pulse_duties, "--pulse-duties")
+        stimuli = pulse_shape_sweep(
+            duties, period=args.period, low=args.before, high=args.after
+        )
+    else:
+        corners = _parse_floats(
+            args.step_corners or "0.4,0.7,1.0,1.3", "--step-corners"
+        )
+        stimuli = load_step_sweep(
+            corners, t_step=args.t_step, before=args.before
+        )
+    families = [stimuli]
+    if args.decap_boosts is not None:
+        boosts = _parse_floats(args.decap_boosts, "--decap-boosts")
+        families.append(decap_placement_sweep(n_tiers, boosts))
+    return cartesian_sweep(*families)
+
+
 def cmd_transient(args: argparse.Namespace) -> int:
     from repro.core.transient import TransientVPSolver, step_stimulus
 
     stack = _build_stack(args)
+    if args.sweep:
+        from repro.bench.transient import run_transient_sweep
+        from repro.core.transient_batch import BatchedTransientConfig
+
+        scenarios = _transient_sweep_scenarios(args, stack.n_tiers)
+        config = BatchedTransientConfig(
+            outer_tol=args.outer_tol, settle_tol=args.settle_tol
+        )
+        report = run_transient_sweep(
+            stack,
+            scenarios,
+            args.cap,
+            args.dt,
+            args.t_end,
+            config,
+            compare_sequential=args.compare_sequential,
+        )
+        print(report.table())
+        print(report.summary())
+        if args.csv:
+            report.to_csv(args.csv)
+            print(f"wrote {args.csv}")
+        if args.json:
+            report.to_json(args.json)
+            print(f"wrote {args.json}")
+        return 0
     base_loads = [tier.loads.copy() for tier in stack.tiers]
     stimulus = step_stimulus(
         base_loads, t_step=args.t_step, before=args.before, after=args.after
@@ -772,6 +847,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="activity before the step")
     p.add_argument("--after", type=float, default=1.0,
                    help="activity after the step")
+    p.add_argument(
+        "--sweep", action="store_true",
+        help="batched multi-scenario droop sweep (shared companion factors)",
+    )
+    p.add_argument(
+        "--step-corners", default=None,
+        help="sweep mode: comma-separated post-step activity levels "
+        "(default 0.4,0.7,1.0,1.3; one load-step scenario each)",
+    )
+    p.add_argument(
+        "--ramp-rises", default=None,
+        help="sweep mode: comma-separated activity rise times (s); "
+        "0 degenerates to a step (exclusive with --step-corners)",
+    )
+    p.add_argument(
+        "--pulse-duties", default=None,
+        help="sweep mode: comma-separated pulse duty cycles in (0,1) "
+        "(exclusive with --step-corners/--ramp-rises)",
+    )
+    p.add_argument(
+        "--period", type=float, default=4e-9,
+        help="pulse period (s) for --pulse-duties",
+    )
+    p.add_argument(
+        "--decap-boosts", default=None,
+        help="sweep mode: comma-separated per-tier decap boost factors, "
+        "crossed with the stimulus family as a placement grid",
+    )
+    p.add_argument("--outer-tol", type=float, default=1e-4, help="volts")
+    p.add_argument(
+        "--settle-tol", type=float, default=0.0,
+        help="sweep mode: retire scenarios whose waveform moves less than "
+        "this (V) per step after their stimulus settles (0 = never)",
+    )
+    p.add_argument(
+        "--compare-sequential", action="store_true",
+        help="sweep mode: also run the per-scenario transient loop and "
+        "report speedup",
+    )
+    p.add_argument("--csv", help="sweep mode: write the report as CSV")
+    p.add_argument("--json", help="sweep mode: write the report as JSON")
     p.set_defaults(func=cmd_transient)
 
     p = sub.add_parser("phases", help="E10: VP phase breakdown")

@@ -25,8 +25,16 @@ from repro.core.vp import (
 from repro.core.transient import (
     TransientVPSolver,
     TransientResult,
+    normalize_capacitance,
     step_stimulus,
     pulse_train_stimulus,
+)
+from repro.core.transient_batch import (
+    BatchedTransientConfig,
+    BatchedTransientResult,
+    BatchedTransientSolver,
+    BatchedTransientStats,
+    solve_transient_batch,
 )
 
 __all__ = [
@@ -48,6 +56,12 @@ __all__ = [
     "solve_vp",
     "TransientVPSolver",
     "TransientResult",
+    "normalize_capacitance",
     "step_stimulus",
     "pulse_train_stimulus",
+    "BatchedTransientConfig",
+    "BatchedTransientResult",
+    "BatchedTransientSolver",
+    "BatchedTransientStats",
+    "solve_transient_batch",
 ]

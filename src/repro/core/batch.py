@@ -166,6 +166,13 @@ class BatchedVPResult:
         return len(self.scenario_names)
 
     def scenario_index(self, name: str) -> int:
+        """Column index of the scenario named ``name``.
+
+        Raises
+        ------
+        ReproError
+            If no scenario in the batch carries that name.
+        """
         try:
             return self.scenario_names.index(name)
         except ValueError:
@@ -282,6 +289,48 @@ class BatchedVPSolver:
         self._setup_seconds = time.perf_counter() - t_start
 
     # ------------------------------------------------------------------
+    def set_rhs(self, tier_rhs: list[np.ndarray]) -> None:
+        """Replace the per-scenario plane right-hand sides.
+
+        The constructor derives the RHS batches from the stack's static
+        loads and the scenarios' load scales; drivers that move the RHS
+        every solve -- the batched transient engine folds the
+        backward-Euler history term ``(C/h) v_{k-1}`` into per-step
+        loads -- push the full vectors here instead.  Matrices and
+        factors are untouched (loads never enter them).
+
+        Parameters
+        ----------
+        tier_rhs:
+            One ``(rows * cols, S)`` array per tier: the full-node RHS
+            ``g_pad * v_pad - loads`` of each scenario column, in the
+            stack's row-major node order.  Sliced into the free/pillar
+            partitions internally.
+
+        Raises
+        ------
+        GridError
+            On a tier-count or shape mismatch.
+        """
+        if len(tier_rhs) != self.n_tiers:
+            raise GridError(
+                f"expected {self.n_tiers} RHS arrays, got {len(tier_rhs)}"
+            )
+        n = self.rows * self.cols
+        b_free, b_pillar = [], []
+        for l, rhs in enumerate(tier_rhs):
+            rhs = np.asarray(rhs, dtype=float)
+            if rhs.shape != (n, self.n_scenarios):
+                raise GridError(
+                    f"tier {l} RHS shape {rhs.shape} != "
+                    f"{(n, self.n_scenarios)}"
+                )
+            b_free.append(np.ascontiguousarray(rhs[self.planes.free]))
+            b_pillar.append(np.ascontiguousarray(rhs[self.pillar_flat]))
+        self._b_free = b_free
+        self._b_pillar = b_pillar
+
+    # ------------------------------------------------------------------
     @property
     def memory_bytes(self) -> int:
         """Solver state: shared plane blocks plus the batched RHS/field
@@ -341,8 +390,36 @@ class BatchedVPSolver:
     def solve(self, v0: np.ndarray | None = None) -> BatchedVPResult:
         """Run the lockstep outer iteration with early retirement.
 
-        ``v0`` optionally seeds the layer-0 TSV voltages: ``(P,)`` seeds
-        every scenario alike, ``(P, S)`` seeds each column.
+        Every outer iteration back-substitutes the still-active scenario
+        columns through the shared plane factors (CVN), accumulates TSV
+        currents, propagates voltages bottom-up, and applies the VDA
+        update column-wise; scenarios whose residual drops under
+        ``config.outer_tol`` retire early and their voltage fields are
+        frozen.
+
+        Parameters
+        ----------
+        v0:
+            Optional layer-0 TSV voltage seed: ``(P,)`` seeds every
+            scenario alike, ``(P, S)`` seeds each column (e.g. the
+            ``pillar_v0`` of a previous solve for warm starts).  Default
+            is the per-scenario ``config.v0_init`` rule.
+
+        Returns
+        -------
+        BatchedVPResult
+            Per-scenario voltage fields ``(T, R, C, S)``, convergence
+            flags, retirement iterations, final pillar voltages and
+            currents, plus cost accounting (:class:`BatchedVPStats`).
+
+        Raises
+        ------
+        GridError
+            If ``v0`` has neither of the accepted shapes.
+        ConvergenceError
+            When ``config.raise_on_divergence`` is set and any scenario
+            is still above tolerance after ``config.max_outer``
+            iterations.
         """
         config = self.config
         t_start = time.perf_counter()
@@ -364,7 +441,10 @@ class BatchedVPSolver:
         policy.reset((n_pillars, n_scen))
 
         n = self.rows * self.cols
-        voltages = np.full((self.n_tiers, n, n_scen), self.v_pin)
+        # Uninitialized is safe: every column is stored either when its
+        # scenario retires or at loop exit (stragglers) -- and 33 MB+
+        # memsets per solve are measurable in the transient step loop.
+        voltages = np.empty((self.n_tiers, n, n_scen))
         stats = BatchedVPStats(setup_seconds=self._setup_seconds)
         phase = stats.phase_seconds
         history: list[BatchOuterRecord] = []
@@ -381,12 +461,16 @@ class BatchedVPSolver:
 
         idx = np.flatnonzero(active)
         fields: list[np.ndarray] = []
+        in_place = False
         for outer in range(1, config.max_outer + 1):
             idx = np.flatnonzero(active)
             stats.column_solves += idx.size
             pillar_v = v0[:, idx].copy() if idx.size != n_scen else v0.copy()
             cumulative = np.zeros((n_pillars, idx.size))
             fields = []
+            # Full-width iterations assemble straight into the result
+            # buffer, so retirement needs no copy for them.
+            in_place = idx.size == n_scen
 
             for l in range(self.n_tiers):
                 t0 = time.perf_counter()
@@ -398,7 +482,9 @@ class BatchedVPSolver:
                     l, pillar_v, b_free=narrow(self._b_free[l], idx),
                     scale=scale,
                 )
-                v_full = self.planes.assemble(x_free, pillar_v)
+                v_full = self.planes.assemble(
+                    x_free, pillar_v, out=voltages[l] if in_place else None
+                )
                 fields.append(v_full)
                 phase["cvn"] += time.perf_counter() - t0
 
@@ -439,8 +525,9 @@ class BatchedVPSolver:
             done = f_active <= config.outer_tol
             if np.any(done):
                 cols = idx[done]
-                for l in range(self.n_tiers):
-                    voltages[l][:, cols] = fields[l][:, done]
+                if not in_place:
+                    for l in range(self.n_tiers):
+                        voltages[l][:, cols] = fields[l][:, done]
                 converged[cols] = True
                 active[cols] = False
             stats.outer_iterations = outer
@@ -464,9 +551,10 @@ class BatchedVPSolver:
             v0[:, live] = v_new[:, live]
             phase["vda"] += time.perf_counter() - t0
 
-        if active.any():
+        if active.any() and not in_place:
             # max_outer exhausted: store the stragglers' last fields
-            # (``fields`` columns follow ``idx`` of the final iteration).
+            # (``fields`` columns follow ``idx`` of the final iteration;
+            # full-width iterations already wrote in place).
             live = active[idx]
             cols = np.flatnonzero(active)
             for l in range(self.n_tiers):

@@ -256,11 +256,18 @@ class ReducedPlaneSystem:
         )
 
     def assemble(
-        self, x_free: np.ndarray, pillar_v: np.ndarray
+        self,
+        x_free: np.ndarray,
+        pillar_v: np.ndarray,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Scatter free-node and pillar values into a full flat field
-        (``(n,)`` or ``(n, S)``, matching the inputs)."""
-        if x_free.ndim == 2:
+        (``(n,)`` or ``(n, S)``, matching the inputs).  ``out`` supplies
+        the destination buffer -- the batched solvers scatter straight
+        into their result arrays to skip a per-iteration copy."""
+        if out is not None:
+            field = out
+        elif x_free.ndim == 2:
             field = np.empty((self.n, x_free.shape[1]))
         else:
             field = np.empty(self.n)

@@ -37,6 +37,62 @@ from repro.grid.stack3d import PowerGridStack
 LoadStimulus = Callable[[float], list[np.ndarray]]
 
 
+def normalize_capacitance(
+    stack: PowerGridStack, capacitance: float | Sequence[np.ndarray]
+) -> list[np.ndarray]:
+    """Validate and normalize node capacitance to per-tier arrays.
+
+    Parameters
+    ----------
+    stack:
+        The grid whose tier shapes and TSV keep-out mask apply.
+    capacitance:
+        Per-tier ``(rows, cols)`` arrays in farads, or a scalar applied
+        to every non-TSV node.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        One ``(rows, cols)`` array per tier, zeroed at pillar nodes: the
+        TSV keep-out applies to decap too, because the history current
+        of a pillar-node capacitor would violate the plane solvers'
+        zero-load assumption at Dirichlet nodes.
+
+    Raises
+    ------
+    ReproError
+        If a scalar capacitance is not positive.
+    GridError
+        On a tier-count/shape mismatch or negative entries.
+    """
+    mask = stack.pillar_mask()
+    if np.isscalar(capacitance):
+        value = float(capacitance)  # type: ignore[arg-type]
+        if value <= 0:
+            raise ReproError("capacitance must be positive")
+        caps = []
+        for _ in stack.tiers:
+            field_ = np.full((stack.rows, stack.cols), value)
+            field_[mask] = 0.0
+            caps.append(field_)
+        return caps
+    caps = [np.asarray(c, dtype=float).copy() for c in capacitance]
+    if len(caps) != stack.n_tiers:
+        raise GridError(
+            f"expected {stack.n_tiers} capacitance arrays, got {len(caps)}"
+        )
+    for c in caps:
+        if c.shape != (stack.rows, stack.cols):
+            raise GridError(
+                f"capacitance shape {c.shape} != "
+                f"{(stack.rows, stack.cols)}"
+            )
+        if np.any(c < 0):
+            raise GridError("capacitance must be non-negative")
+        c[mask] = 0.0
+    return caps
+
+
 def step_stimulus(
     base_loads: Sequence[np.ndarray],
     *,
@@ -148,36 +204,7 @@ class TransientVPSolver:
     def _normalize_caps(
         self, capacitance: float | Sequence[np.ndarray]
     ) -> list[np.ndarray]:
-        stack = self.stack
-        mask = stack.pillar_mask()
-        if np.isscalar(capacitance):
-            value = float(capacitance)  # type: ignore[arg-type]
-            if value <= 0:
-                raise ReproError("capacitance must be positive")
-            caps = []
-            for _ in stack.tiers:
-                field_ = np.full((stack.rows, stack.cols), value)
-                field_[mask] = 0.0
-                caps.append(field_)
-            return caps
-        caps = [np.asarray(c, dtype=float).copy() for c in capacitance]
-        if len(caps) != stack.n_tiers:
-            raise GridError(
-                f"expected {stack.n_tiers} capacitance arrays, got {len(caps)}"
-            )
-        for c in caps:
-            if c.shape != (stack.rows, stack.cols):
-                raise GridError(
-                    f"capacitance shape {c.shape} != "
-                    f"{(stack.rows, stack.cols)}"
-                )
-            if np.any(c < 0):
-                raise GridError("capacitance must be non-negative")
-            # TSV keep-out applies to decap too in this model: the
-            # history current of a pillar-node capacitor would violate
-            # the plane solvers' zero-load assumption at Dirichlet nodes.
-            c[mask] = 0.0
-        return caps
+        return normalize_capacitance(self.stack, capacitance)
 
     # ------------------------------------------------------------------
     def dc_operating_point(
@@ -207,8 +234,14 @@ class TransientVPSolver:
         base_loads = [tier.loads.copy() for tier in stack.tiers]
         stimulus = stimulus or (lambda t: base_loads)
 
+        pillar_seed = None
         if v0 is None:
-            v = self.dc_operating_point(stimulus(0.0)).voltages.copy()
+            dc = self.dc_operating_point(stimulus(0.0))
+            v = dc.voltages.copy()
+            # Seed the first companion solve from the DC pillar voltages
+            # (later steps warm-start from the previous step anyway);
+            # the batched engine mirrors this seed for exact parity.
+            pillar_seed = dc.pillar_v0
         else:
             v = np.array(v0, dtype=float)
             expected = (stack.n_tiers, stack.rows, stack.cols)
@@ -226,7 +259,6 @@ class TransientVPSolver:
             probe_wave[0, p] = v[l, i, j]
 
         outer_counts: list[int] = []
-        pillar_seed = None
         for k in range(1, n_steps + 1):
             t = k * self.dt
             loads_t = stimulus(t)

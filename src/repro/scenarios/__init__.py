@@ -1,26 +1,37 @@
 """Scenario sweeps: specifications and generators for multi-corner runs.
 
 The heavy lifting (shared-factorization batched solving) lives in
-:mod:`repro.core.batch`; this package only describes *what* to sweep.
+:mod:`repro.core.batch` for DC sweeps and
+:mod:`repro.core.transient_batch` for transient sweeps; this package
+only describes *what* to sweep.
 """
 
-from repro.scenarios.spec import Scenario, ScenarioSet
+from repro.scenarios.spec import Scenario, ScenarioSet, StimulusSpec
 from repro.scenarios.sweeps import (
     cartesian_sweep,
     combine,
+    decap_placement_sweep,
     load_corner_sweep,
+    load_step_sweep,
     metal_width_sweep,
     pad_current_sweep,
+    pulse_shape_sweep,
+    ramp_shape_sweep,
     tsv_design_sweep,
 )
 
 __all__ = [
     "Scenario",
     "ScenarioSet",
+    "StimulusSpec",
     "cartesian_sweep",
     "combine",
+    "decap_placement_sweep",
     "load_corner_sweep",
+    "load_step_sweep",
     "metal_width_sweep",
     "pad_current_sweep",
+    "pulse_shape_sweep",
+    "ramp_shape_sweep",
     "tsv_design_sweep",
 ]

@@ -22,6 +22,20 @@ That contract is what lets the batched engine
 :class:`ScenarioSet` -- and the Monte Carlo variation driver
 (:mod:`repro.stochastic`) whole sample populations -- with zero
 refactorizations.
+
+Transient sweeps add two more knobs that keep the same reuse story:
+
+* ``stimulus`` -- a declarative :class:`StimulusSpec` (step, ramp, or
+  pulse activity waveform) evaluated per time step; activity only moves
+  the right-hand sides, exactly like ``load_scale``;
+* ``cap_scale`` -- per-tier decap multipliers.  Capacitance enters the
+  backward-Euler companion matrix ``G + C/h`` on the diagonal, so the
+  batched transient engine (:mod:`repro.core.transient_batch`) groups
+  scenarios by their ``(plane_scale, cap_scale)`` tuples and factorizes
+  one companion system per group -- never per scenario or per step.
+
+Both knobs are ignored by the DC engines (a DC solve has no time axis
+and no capacitors).
 """
 
 from __future__ import annotations
@@ -34,6 +48,111 @@ import numpy as np
 from repro.errors import GridError, ReproError
 from repro.grid.loads import scale_loads
 from repro.grid.stack3d import PillarSet, PowerGridStack
+
+#: Stimulus waveform kinds understood by :class:`StimulusSpec`.
+STIMULUS_KINDS = ("step", "ramp", "pulse")
+
+
+@dataclass(frozen=True)
+class StimulusSpec:
+    """Declarative activity waveform of one transient scenario.
+
+    The spec maps time to a scalar activity multiplier applied to the
+    scenario's (already ``load_scale``-scaled) loads; keeping it
+    declarative -- instead of an opaque callable -- lets sweep
+    generators build stimulus families, reports label them, and both the
+    batched and the sequential transient paths evaluate the *same*
+    waveform (the exact-parity contract).
+
+    Parameters
+    ----------
+    kind:
+        ``"step"`` (activity jumps at ``t_event``), ``"ramp"`` (linear
+        transition over ``rise`` seconds starting at ``t_event``), or
+        ``"pulse"`` (periodic burst: ``after`` for the first ``duty``
+        fraction of each ``period``, ``before`` otherwise).
+    t_event:
+        Event time (s) of a step/ramp; ignored for pulses.
+    before, after:
+        Activity multipliers on either side of the event (for pulses:
+        the low/high levels of the burst).  Must be >= 0.
+    rise:
+        Ramp duration (s); must be > 0 for ``"ramp"`` and 0 otherwise.
+    period:
+        Pulse period (s); must be > 0 for ``"pulse"`` and 0 otherwise.
+    duty:
+        High fraction of each pulse period, in (0, 1).
+    """
+
+    kind: str = "step"
+    t_event: float = 0.0
+    before: float = 1.0
+    after: float = 1.0
+    rise: float = 0.0
+    period: float = 0.0
+    duty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in STIMULUS_KINDS:
+            raise ReproError(
+                f"unknown stimulus kind {self.kind!r}; use one of "
+                f"{STIMULUS_KINDS}"
+            )
+        if self.before < 0 or self.after < 0:
+            raise ReproError("stimulus activity levels must be >= 0")
+        if self.kind == "ramp":
+            if self.rise <= 0:
+                raise ReproError("ramp stimulus needs rise > 0")
+        elif self.rise != 0:
+            raise ReproError(f"{self.kind} stimulus must keep rise = 0")
+        if self.kind == "pulse":
+            if self.period <= 0:
+                raise ReproError("pulse stimulus needs period > 0")
+            if not 0 < self.duty < 1:
+                raise ReproError("pulse duty cycle must be in (0, 1)")
+        elif self.period != 0:
+            raise ReproError(f"{self.kind} stimulus must keep period = 0")
+
+    def scale_at(self, t: float) -> float:
+        """Activity multiplier at time ``t`` (s)."""
+        if self.kind == "pulse":
+            phase = (t % self.period) / self.period
+            return self.after if phase < self.duty else self.before
+        if t < self.t_event:
+            return self.before
+        if self.kind == "ramp" and t < self.t_event + self.rise:
+            return self.before + (self.after - self.before) * (
+                (t - self.t_event) / self.rise
+            )
+        return self.after
+
+    def settles_at(self) -> float | None:
+        """Time after which the waveform is constant (``None`` for
+        pulses, which never settle)."""
+        if self.kind == "pulse":
+            return None
+        return self.t_event + self.rise
+
+    def as_stimulus(self, base_loads: Sequence[np.ndarray]):
+        """Materialize as a sequential-path load stimulus: a callable
+        ``t -> [loads * scale_at(t) per tier]`` accepted by
+        :meth:`repro.core.transient.TransientVPSolver.run`."""
+        base = list(base_loads)
+
+        def at(t: float) -> list[np.ndarray]:
+            scale = self.scale_at(t)
+            return [loads * scale for loads in base]
+
+        return at
+
+    def label(self) -> str:
+        """Compact report label, e.g. ``step(0.2->1)``."""
+        if self.kind == "pulse":
+            return f"pulse({self.before:g}/{self.after:g}@{self.duty:g})"
+        arrow = f"{self.before:g}->{self.after:g}"
+        if self.kind == "ramp":
+            return f"ramp({arrow}/{self.rise:g}s)"
+        return f"step({arrow})"
 
 
 @dataclass(frozen=True)
@@ -61,6 +180,17 @@ class Scenario:
         Optional ``(T, P)`` per-segment multiplier on the TSV resistance
         table (process spread across individual vias), composing
         multiplicatively with ``r_tsv_scale``.  Must be positive.
+    cap_scale:
+        Multiplier on every tier's node decap (a decap budget/placement
+        point): a scalar or a per-tier tuple; must be positive.  Only
+        the transient engines read it -- it scales the ``C/h`` diagonal
+        of the backward-Euler companion system, so scenarios sharing a
+        ``(plane_scale, cap_scale)`` signature share one companion
+        factorization.
+    stimulus:
+        Optional :class:`StimulusSpec` activity waveform for transient
+        sweeps (``None`` means constant activity 1).  Ignored by the DC
+        engines.
     """
 
     name: str
@@ -68,6 +198,8 @@ class Scenario:
     r_tsv_scale: float = 1.0
     plane_scale: float | tuple[float, ...] = 1.0
     r_seg_scale: np.ndarray | None = None
+    cap_scale: float | tuple[float, ...] = 1.0
+    stimulus: StimulusSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -92,6 +224,15 @@ class Scenario:
                     f"scenario {self.name!r}: r_seg_scale must be > 0"
                 )
             object.__setattr__(self, "r_seg_scale", table)
+        caps = np.atleast_1d(np.asarray(self.cap_scale, dtype=float))
+        if np.any(caps <= 0):
+            raise ReproError(f"scenario {self.name!r}: cap_scale must be > 0")
+        if self.stimulus is not None and not isinstance(
+            self.stimulus, StimulusSpec
+        ):
+            raise ReproError(
+                f"scenario {self.name!r}: stimulus must be a StimulusSpec"
+            )
 
     @staticmethod
     def _broadcast_tiers(
@@ -116,6 +257,15 @@ class Scenario:
         return self._broadcast_tiers(
             self.plane_scale, n_tiers, self.name, "plane"
         )
+
+    def tier_cap_scales(self, n_tiers: int) -> np.ndarray:
+        """Per-tier decap multipliers, broadcast to ``(n_tiers,)``."""
+        return self._broadcast_tiers(self.cap_scale, n_tiers, self.name, "cap")
+
+    def activity_at(self, t: float) -> float:
+        """Stimulus activity multiplier at time ``t`` (1 when the
+        scenario carries no stimulus)."""
+        return 1.0 if self.stimulus is None else self.stimulus.scale_at(t)
 
     def r_seg_factors(self, r_seg: np.ndarray) -> np.ndarray:
         """Total TSV multiplier table ``(T, P)`` for a base segment table
@@ -175,6 +325,10 @@ class Scenario:
                 f"{float(self.r_seg_scale.min()):.3g}.."
                 f"{float(self.r_seg_scale.max()):.3g}"
             )
+        if not np.all(np.atleast_1d(np.asarray(self.cap_scale)) == 1.0):
+            record["cap_scale"] = self._scale_label(self.cap_scale)
+        if self.stimulus is not None:
+            record["stimulus"] = self.stimulus.label()
         return record
 
 
@@ -220,6 +374,13 @@ class ScenarioSet(Sequence):
         return [s.name for s in self.scenarios]
 
     def index_of(self, name: str) -> int:
+        """Position of the scenario named ``name`` (its batch column).
+
+        Raises
+        ------
+        ReproError
+            If no scenario in the set carries that name.
+        """
         for k, scenario in enumerate(self.scenarios):
             if scenario.name == name:
                 return k
@@ -267,5 +428,20 @@ class ScenarioSet(Sequence):
             [r_seg * s.r_seg_factors(r_seg) for s in self.scenarios], axis=2
         )
 
+    def cap_scale_matrix(self, n_tiers: int) -> np.ndarray:
+        """``(T, S)`` per-tier decap multipliers, one column per scenario
+        (all ones for sweeps that never touch decap)."""
+        return np.column_stack(
+            [s.tier_cap_scales(n_tiers) for s in self.scenarios]
+        )
+
+    def activity_vector(self, t: float) -> np.ndarray:
+        """``(S,)`` stimulus activity multipliers at time ``t`` (1 for
+        scenarios without a stimulus)."""
+        return np.array(
+            [s.activity_at(t) for s in self.scenarios], dtype=float
+        )
+
     def describe(self) -> list[dict]:
+        """Per-scenario flat records (see :meth:`Scenario.describe`)."""
         return [s.describe() for s in self.scenarios]

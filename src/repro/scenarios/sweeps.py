@@ -12,10 +12,21 @@ for in practice:
 * :func:`tsv_design_sweep` -- TSV resistance design points (via/liner
   process choices scale every segment resistance).
 
+Transient sweeps add stimulus/decap families for the batched transient
+engine (:mod:`repro.core.transient_batch`):
+
+* :func:`load_step_sweep` -- worst-case di/dt corners (activity steps to
+  a family of post-event levels);
+* :func:`ramp_shape_sweep` -- how fast the activity transition happens
+  (rise-time family; rise 0 degenerates to a step);
+* :func:`decap_placement_sweep` -- where a decap boost buys the most
+  (per-tier placement grid via ``cap_scale``);
+* :func:`pulse_shape_sweep` -- periodic burst activity (duty family).
+
 :func:`cartesian_sweep` crosses families into a full design grid.  All
 generators return plain scenario lists; wrap them in a
 :class:`~repro.scenarios.spec.ScenarioSet` (or hand them straight to the
-batched engine, which does so itself).
+batched engines, which do so themselves).
 """
 
 from __future__ import annotations
@@ -24,7 +35,7 @@ from itertools import product
 from typing import Iterable, Sequence
 
 from repro.errors import ReproError
-from repro.scenarios.spec import Scenario
+from repro.scenarios.spec import Scenario, StimulusSpec
 
 
 def _format_scale(value: float) -> str:
@@ -97,6 +108,127 @@ def metal_width_sweep(
     ]
 
 
+def load_step_sweep(
+    levels: Sequence[float] = (0.4, 0.7, 1.0, 1.3),
+    *,
+    t_step: float,
+    before: float = 0.2,
+    prefix: str = "step",
+) -> list[Scenario]:
+    """Load-step droop corners: activity jumps from ``before`` to each
+    post-event level at ``t_step`` (the classic clock-gating-released
+    di/dt event, one scenario per landing level)."""
+    if not levels:
+        raise ReproError("load_step_sweep needs at least one level")
+    return [
+        Scenario(
+            name=f"{prefix}-to-{_format_scale(level)}",
+            stimulus=StimulusSpec(
+                kind="step",
+                t_event=float(t_step),
+                before=float(before),
+                after=float(level),
+            ),
+        )
+        for level in levels
+    ]
+
+
+def ramp_shape_sweep(
+    rise_times: Sequence[float],
+    *,
+    t_start: float,
+    before: float = 0.2,
+    after: float = 1.0,
+    prefix: str = "ramp",
+) -> list[Scenario]:
+    """Activity-transition shape family: how fast the ``before -> after``
+    transition happens.  A rise time of 0 degenerates to a step (the
+    infinitely fast corner)."""
+    if not rise_times:
+        raise ReproError("ramp_shape_sweep needs at least one rise time")
+    out = []
+    for rise in rise_times:
+        rise = float(rise)
+        if rise > 0:
+            spec = StimulusSpec(
+                kind="ramp", t_event=float(t_start),
+                before=float(before), after=float(after), rise=rise,
+            )
+        else:
+            spec = StimulusSpec(
+                kind="step", t_event=float(t_start),
+                before=float(before), after=float(after),
+            )
+        out.append(
+            Scenario(name=f"{prefix}-{_format_scale(rise)}s", stimulus=spec)
+        )
+    return out
+
+
+def pulse_shape_sweep(
+    duties: Sequence[float] = (0.25, 0.5, 0.75),
+    *,
+    period: float,
+    low: float = 0.2,
+    high: float = 1.0,
+    prefix: str = "pulse",
+) -> list[Scenario]:
+    """Periodic burst activity (duty-cycled switching), one scenario per
+    duty cycle.  Pulses never settle, so these scenarios are exempt from
+    the batched engine's early retirement."""
+    if not duties:
+        raise ReproError("pulse_shape_sweep needs at least one duty cycle")
+    return [
+        Scenario(
+            name=f"{prefix}-d{_format_scale(d)}",
+            stimulus=StimulusSpec(
+                kind="pulse", period=float(period),
+                before=float(low), after=float(high), duty=float(d),
+            ),
+        )
+        for d in duties
+    ]
+
+
+def decap_placement_sweep(
+    n_tiers: int,
+    boosts: Sequence[float] = (4.0,),
+    include_uniform: bool = True,
+    prefix: str = "decap",
+) -> list[Scenario]:
+    """Decap placement grid: for each boost factor, one scenario per
+    tier with that tier's decap multiplied (where does extra decap buy
+    the most droop?).  ``include_uniform`` prepends the x1 baseline.
+
+    Each distinct ``cap_scale`` tuple costs the batched transient engine
+    one companion factorization, but all scenarios *sharing* a placement
+    still ride one set of factors -- cross this family with stimulus
+    corners via :func:`cartesian_sweep` for the interesting sweeps."""
+    if n_tiers < 1:
+        raise ReproError("decap_placement_sweep needs n_tiers >= 1")
+    if not boosts:
+        raise ReproError("decap_placement_sweep needs at least one boost")
+    out = []
+    if include_uniform:
+        out.append(Scenario(name=f"{prefix}-uniform"))
+    for boost in boosts:
+        boost = float(boost)
+        if boost <= 0:
+            raise ReproError("decap boosts must be > 0")
+        for tier in range(n_tiers):
+            scales = tuple(
+                boost if l == tier else 1.0 for l in range(n_tiers)
+            )
+            out.append(
+                Scenario(
+                    name=f"{prefix}-t{tier}-x{_format_scale(boost)}",
+                    cap_scale=scales,
+                )
+            )
+    return out
+
+
 def _compose_tier_scales(scale_a, scale_b, what: str):
     """Multiply two scalar-or-per-tier-tuple scale specs."""
     if isinstance(scale_a, tuple) or isinstance(scale_b, tuple):
@@ -116,9 +248,10 @@ def _compose_tier_scales(scale_a, scale_b, what: str):
 
 
 def combine(a: Scenario, b: Scenario, sep: str = "+") -> Scenario:
-    """Compose two scenarios: load, plane (metal-width), and TSV scales
-    all multiply (per-tier aware); per-segment spreads multiply
-    elementwise."""
+    """Compose two scenarios: load, plane (metal-width), decap, and TSV
+    scales all multiply (per-tier aware); per-segment spreads multiply
+    elementwise.  At most one side may carry a stimulus (two activity
+    waveforms have no natural composition)."""
     if a.r_seg_scale is not None and b.r_seg_scale is not None:
         if a.r_seg_scale.shape != b.r_seg_scale.shape:
             raise ReproError(
@@ -128,12 +261,19 @@ def combine(a: Scenario, b: Scenario, sep: str = "+") -> Scenario:
         r_seg_scale = a.r_seg_scale * b.r_seg_scale
     else:
         r_seg_scale = a.r_seg_scale if a.r_seg_scale is not None else b.r_seg_scale
+    if a.stimulus is not None and b.stimulus is not None:
+        raise ReproError(
+            f"cannot combine scenarios {a.name!r} and {b.name!r}: "
+            "both carry a stimulus"
+        )
     return Scenario(
         name=f"{a.name}{sep}{b.name}",
         load_scale=_compose_tier_scales(a.load_scale, b.load_scale, "load"),
         r_tsv_scale=a.r_tsv_scale * b.r_tsv_scale,
         plane_scale=_compose_tier_scales(a.plane_scale, b.plane_scale, "plane"),
         r_seg_scale=r_seg_scale,
+        cap_scale=_compose_tier_scales(a.cap_scale, b.cap_scale, "cap"),
+        stimulus=a.stimulus if a.stimulus is not None else b.stimulus,
     )
 
 

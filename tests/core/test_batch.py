@@ -393,3 +393,35 @@ class TestPrebuiltPlanes:
         bare = ReducedPlaneSystem(small_stack, factorize=False)
         with pytest.raises(ReproError):
             BatchedVPSolver(small_stack, [Scenario("x")], planes=bare)
+
+
+class TestSetRHS:
+    """Driver-supplied right-hand sides (the transient engine's hook)."""
+
+    def test_replacing_rhs_moves_the_solution(self, small_stack):
+        scenarios = [Scenario("a"), Scenario("b")]
+        solver = BatchedVPSolver(small_stack, scenarios)
+        base = solver.solve()
+        n = small_stack.rows * small_stack.cols
+        # Zero loads with the pad injections kept: every node floats to
+        # the pad voltage.
+        rhs = []
+        for tier in small_stack.tiers:
+            pad = (tier.g_pad * tier.v_pad).ravel()
+            rhs.append(np.repeat(pad[:, None], len(scenarios), axis=1))
+        solver.set_rhs(rhs)
+        lifted = solver.solve()
+        assert lifted.voltages.min() > base.voltages.min()
+        np.testing.assert_allclose(
+            lifted.voltages, small_stack.v_pin, atol=1e-3
+        )
+
+    def test_tier_count_checked(self, small_stack):
+        solver = BatchedVPSolver(small_stack, [Scenario("a")])
+        with pytest.raises(GridError):
+            solver.set_rhs([np.zeros((64, 1))])
+
+    def test_shape_checked(self, small_stack):
+        solver = BatchedVPSolver(small_stack, [Scenario("a")])
+        with pytest.raises(GridError):
+            solver.set_rhs([np.zeros((64, 2))] * small_stack.n_tiers)

@@ -240,3 +240,144 @@ class TestSweepGenerators:
             tsv_design_sweep(())
         with pytest.raises(ReproError):
             cartesian_sweep()
+
+
+class TestStimulusSpec:
+    def test_step_scale_at(self):
+        from repro.scenarios import StimulusSpec
+
+        spec = StimulusSpec(kind="step", t_event=1e-9, before=0.2, after=1.4)
+        assert spec.scale_at(0.0) == 0.2
+        assert spec.scale_at(1e-9) == 1.4  # inclusive at the event
+        assert spec.scale_at(5e-9) == 1.4
+        assert spec.settles_at() == 1e-9
+        assert spec.label() == "step(0.2->1.4)"
+
+    def test_ramp_interpolates_linearly(self):
+        from repro.scenarios import StimulusSpec
+
+        spec = StimulusSpec(
+            kind="ramp", t_event=1e-9, before=0.0, after=1.0, rise=2e-9
+        )
+        assert spec.scale_at(0.5e-9) == 0.0
+        assert spec.scale_at(2e-9) == pytest.approx(0.5)
+        assert spec.scale_at(3e-9) == pytest.approx(1.0)
+        assert spec.scale_at(4e-9) == 1.0
+        assert spec.settles_at() == pytest.approx(3e-9)
+
+    def test_pulse_cycles_and_never_settles(self):
+        from repro.scenarios import StimulusSpec
+
+        spec = StimulusSpec(
+            kind="pulse", period=2e-9, before=0.2, after=1.0, duty=0.25
+        )
+        assert spec.scale_at(0.0) == 1.0
+        assert spec.scale_at(0.6e-9) == 0.2
+        assert spec.scale_at(2.1e-9) == 1.0
+        assert spec.settles_at() is None
+
+    def test_validation(self):
+        from repro.scenarios import StimulusSpec
+
+        with pytest.raises(ReproError):
+            StimulusSpec(kind="sine")
+        with pytest.raises(ReproError):
+            StimulusSpec(kind="step", before=-0.1)
+        with pytest.raises(ReproError):
+            StimulusSpec(kind="ramp", rise=0.0)
+        with pytest.raises(ReproError):
+            StimulusSpec(kind="step", rise=1e-9)
+        with pytest.raises(ReproError):
+            StimulusSpec(kind="pulse", period=0.0)
+        with pytest.raises(ReproError):
+            StimulusSpec(kind="pulse", period=1e-9, duty=1.0)
+
+    def test_as_stimulus_scales_base_loads(self):
+        from repro.scenarios import StimulusSpec
+
+        spec = StimulusSpec(kind="step", t_event=1e-9, before=0.5, after=2.0)
+        base = [np.ones((2, 2)), np.full((2, 2), 3.0)]
+        stim = spec.as_stimulus(base)
+        np.testing.assert_allclose(stim(0.0)[0], 0.5)
+        np.testing.assert_allclose(stim(2e-9)[1], 6.0)
+
+
+class TestTransientSweepGenerators:
+    def test_load_step_sweep(self):
+        from repro.scenarios import load_step_sweep
+
+        sweep = load_step_sweep((0.5, 1.5), t_step=1e-9, before=0.2)
+        assert [s.name for s in sweep] == ["step-to-0.5", "step-to-1.5"]
+        assert all(s.stimulus.kind == "step" for s in sweep)
+        assert sweep[1].stimulus.after == 1.5
+        with pytest.raises(ReproError):
+            load_step_sweep((), t_step=1e-9)
+
+    def test_ramp_shape_sweep_zero_rise_degenerates_to_step(self):
+        from repro.scenarios import ramp_shape_sweep
+
+        sweep = ramp_shape_sweep((0.0, 1e-9), t_start=0.5e-9)
+        assert sweep[0].stimulus.kind == "step"
+        assert sweep[1].stimulus.kind == "ramp"
+        assert sweep[1].stimulus.rise == 1e-9
+
+    def test_pulse_shape_sweep(self):
+        from repro.scenarios import pulse_shape_sweep
+
+        sweep = pulse_shape_sweep((0.25, 0.75), period=4e-9)
+        assert all(s.stimulus.kind == "pulse" for s in sweep)
+        assert sweep[0].stimulus.duty == 0.25
+
+    def test_decap_placement_sweep(self):
+        from repro.scenarios import decap_placement_sweep
+
+        sweep = decap_placement_sweep(3, boosts=(4.0,))
+        assert sweep[0].cap_scale == 1.0  # uniform baseline
+        assert [s.cap_scale for s in sweep[1:]] == [
+            (4.0, 1.0, 1.0),
+            (1.0, 4.0, 1.0),
+            (1.0, 1.0, 4.0),
+        ]
+        no_base = decap_placement_sweep(3, boosts=(2.0,),
+                                        include_uniform=False)
+        assert len(no_base) == 3
+        with pytest.raises(ReproError):
+            decap_placement_sweep(3, boosts=(-1.0,))
+
+
+class TestCombineTransientKnobs:
+    def test_cap_scales_multiply_per_tier(self):
+        from repro.scenarios import combine
+
+        merged = combine(
+            Scenario("a", cap_scale=(2.0, 1.0, 1.0)),
+            Scenario("b", cap_scale=3.0),
+        )
+        assert merged.cap_scale == (6.0, 3.0, 3.0)
+
+    def test_single_stimulus_propagates(self):
+        from repro.scenarios import StimulusSpec, combine
+
+        spec = StimulusSpec(kind="step", t_event=1e-9, before=0.2, after=1.0)
+        merged = combine(
+            Scenario("wave", stimulus=spec), Scenario("corner", load_scale=2.0)
+        )
+        assert merged.stimulus is spec
+        assert merged.load_scale == 2.0
+
+    def test_two_stimuli_rejected(self):
+        from repro.scenarios import StimulusSpec, combine
+
+        spec = StimulusSpec(kind="step", t_event=1e-9)
+        with pytest.raises(ReproError):
+            combine(
+                Scenario("a", stimulus=spec), Scenario("b", stimulus=spec)
+            )
+
+    def test_tier_cap_scales_broadcast(self):
+        scenario = Scenario("x", cap_scale=2.0)
+        np.testing.assert_allclose(
+            scenario.tier_cap_scales(3), [2.0, 2.0, 2.0]
+        )
+        with pytest.raises(GridError):
+            Scenario("y", cap_scale=(1.0, 2.0)).tier_cap_scales(3)

@@ -291,3 +291,61 @@ class TestErrors:
         bad = tmp_path / "bad.sp"
         bad.write_text("R1 a b notanumber\n")
         assert run_cli("solve", "--netlist", str(bad)) == 2
+
+
+class TestTransientSweep:
+    def test_sweep_prints_table_and_writes_reports(self, tmp_path, capsys):
+        import json
+
+        csv_path = tmp_path / "transient.csv"
+        json_path = tmp_path / "transient.json"
+        assert run_cli(
+            "transient", "--side", "10", "--sweep",
+            "--step-corners", "0.5,1.5", "--dt", "5e-10",
+            "--t-end", "2e-9", "--t-step", "5e-10",
+            "--csv", str(csv_path), "--json", str(json_path),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "worst_droop_mV" in out
+        assert "2 scenarios" in out and "factor group" in out
+        lines = csv_path.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 scenarios
+        payload = json.loads(json_path.read_text())
+        assert payload["n_scenarios"] == 2
+        assert payload["n_factor_groups"] == 1
+        assert len(payload["scenarios"]) == 2
+
+    def test_sweep_compare_sequential_reports_parity(self, capsys):
+        assert run_cli(
+            "transient", "--side", "10", "--sweep",
+            "--step-corners", "0.5,1.5", "--dt", "5e-10",
+            "--t-end", "2e-9", "--compare-sequential",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "max parity error 0.0000 mV" in out
+
+    def test_ramp_family_with_decap_grid(self, capsys):
+        assert run_cli(
+            "transient", "--side", "10", "--tiers", "2", "--sweep",
+            "--ramp-rises", "0,1e-9", "--decap-boosts", "4",
+            "--dt", "5e-10", "--t-end", "2e-9",
+        ) == 0
+        out = capsys.readouterr().out
+        # 2 ramp shapes x (uniform + 2 tiers) placements.
+        assert "6 scenarios" in out
+
+    def test_pulse_family(self, capsys):
+        assert run_cli(
+            "transient", "--side", "10", "--sweep",
+            "--pulse-duties", "0.5", "--period", "1e-9",
+            "--dt", "2.5e-10", "--t-end", "2e-9",
+        ) == 0
+        assert "1 scenarios" in capsys.readouterr().out
+
+    def test_stimulus_families_mutually_exclusive(self, capsys):
+        assert run_cli(
+            "transient", "--side", "10", "--sweep",
+            "--step-corners", "1.0", "--pulse-duties", "0.5",
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
