@@ -26,6 +26,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.bench.circuits import build_circuit
 from repro.bench.reporting import BENCH_SCHEMA_VERSION, _jsonable
 
@@ -70,6 +71,9 @@ def emit_bench_json(request):
         if "benchmark" in request.fixturenames
         else None
     )
+    # Snapshot the always-on obs registry around the test so the
+    # artifact carries the test's own metric activity (schema v2).
+    metrics_before = obs.metrics().snapshot()
     yield
     if fixture is None:
         return
@@ -89,6 +93,7 @@ def emit_bench_json(request):
         "unix_time": time.time(),
         "timings_seconds": timings,
         "extra_info": _jsonable(dict(getattr(fixture, "extra_info", {}))),
+        "metrics": obs.snapshot_delta(metrics_before, obs.metrics().snapshot()),
     }
     out_dir = Path(os.environ.get(BENCH_JSON_DIR_ENV, BENCH_JSON_DEFAULT_DIR))
     out_dir.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,101 @@
+"""Telemetry overhead guard: disabled-mode instrumentation under 2%.
+
+The engines report counters unconditionally and guard span/series
+recording behind ``tracer.enabled`` / a hoisted ``None`` handle.  The
+contract is that this always-on residue costs under 2% of a real
+workload -- the 16-scenario C1 droop sweep of E17.
+
+A/B wall-clock diffing cannot resolve a 2% bound on shared hardware, so
+the guard is deterministic instead:
+
+1. run the sweep once under a *fully enabled* session and count every
+   instrumentation action it performed (registry ops + recorded spans +
+   series points) -- an over-count of what disabled mode executes, since
+   disabled mode replaces each span/series action with a cheaper guard;
+2. measure the disabled-path unit costs in tight loops (a registry
+   counter add; an ``enabled`` guard check; an ``add_complete`` early
+   return);
+3. assert  (ops x cost_add) + (spans + series) x max(cost_guard,
+   cost_noop)  <  2% of the measured workload wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.core.transient_batch import BatchedTransientSolver
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.scenarios import ScenarioSet, load_step_sweep
+
+PAPER_SCALE_CIRCUIT = "C1"
+N_SCENARIOS = 16
+DT = 0.5e-9
+T_END = 2.5e-9
+T_STEP = 0.5e-9
+OVERHEAD_BUDGET = 0.02
+
+
+def droop_corners(n: int) -> ScenarioSet:
+    levels = tuple(round(0.4 + 1.5 * k / (n - 1), 3) for k in range(n))
+    return ScenarioSet(load_step_sweep(levels, t_step=T_STEP, before=0.2))
+
+
+def run_sweep(stack) -> None:
+    solver = BatchedTransientSolver(
+        stack, droop_corners(N_SCENARIOS), 2e-9, DT
+    )
+    solver.run(T_END)
+
+
+def _per_call(func, n: int = 200_000) -> float:
+    t0 = time.perf_counter()
+    for _ in range(n):
+        func()
+    return (time.perf_counter() - t0) / n
+
+
+def test_obs_overhead_smoke(circuit_cache, bench_once, benchmark):
+    stack = circuit_cache(PAPER_SCALE_CIRCUIT)
+
+    # 1. Count the instrumentation actions of one fully enabled run.
+    with obs.session(trace=True, series=True) as tel:
+        run_sweep(stack)
+    n_ops = tel.registry.ops
+    n_spans = len(tel.tracer.events)
+    n_series = sum(len(s) for s in tel.registry.series_store.values())
+
+    # 2. Disabled-path unit costs, measured in tight loops.
+    reg = MetricsRegistry()
+    cost_add = _per_call(lambda: reg.add("bench.op"))
+    disabled = Tracer(enabled=False)
+    cost_guard = _per_call(lambda: disabled.enabled)
+    cost_noop_span = _per_call(lambda: disabled.add_complete("x", 0.0, 0.0))
+    cost_per_gate = max(cost_guard, cost_noop_span)
+
+    # 3. Workload wall time (disabled mode: the default session).
+    t0 = time.perf_counter()
+    bench_once(run_sweep, stack)
+    workload_seconds = time.perf_counter() - t0
+
+    overhead_seconds = n_ops * cost_add + (n_spans + n_series) * cost_per_gate
+    ratio = overhead_seconds / workload_seconds
+    assert ratio < OVERHEAD_BUDGET, (
+        f"instrumentation bound {overhead_seconds * 1e3:.2f} ms is "
+        f"{ratio:.1%} of the {workload_seconds:.2f}s sweep "
+        f"(budget {OVERHEAD_BUDGET:.0%}; {n_ops} registry ops, "
+        f"{n_spans} spans, {n_series} series points)"
+    )
+    benchmark.extra_info.update(
+        {
+            "registry_ops": n_ops,
+            "span_events": n_spans,
+            "series_points": n_series,
+            "cost_add_ns": cost_add * 1e9,
+            "cost_gate_ns": cost_per_gate * 1e9,
+            "overhead_bound_seconds": overhead_seconds,
+            "workload_seconds": workload_seconds,
+            "overhead_ratio": ratio,
+        }
+    )

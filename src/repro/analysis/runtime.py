@@ -1,21 +1,25 @@
-"""Wall-clock timing helper."""
+"""Wall-clock timing helper (deprecated shim over :class:`repro.obs.Stopwatch`).
+
+The one timing idiom in the tree is now ``repro.obs.Stopwatch``, which
+measures ``.seconds`` exactly like the old ``Timer`` and additionally
+records a named span when a telemetry session has tracing enabled.
+``Timer`` remains as a thin alias so existing callers keep working; new
+code should use ``Stopwatch`` (with a span name) directly.
+"""
 
 from __future__ import annotations
 
-import time
+from repro.obs.session import Stopwatch
 
 
-class Timer:
-    """Context manager measuring wall-clock seconds
-    (``with Timer() as t: ...; t.seconds``)."""
+class Timer(Stopwatch):
+    """Deprecated: use :class:`repro.obs.Stopwatch`.
+
+    Context manager measuring wall-clock seconds
+    (``with Timer() as t: ...; t.seconds``).
+    """
+
+    __slots__ = ()
 
     def __init__(self) -> None:
-        self.seconds = 0.0
-        self._start = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.seconds = time.perf_counter() - self._start
+        super().__init__("timed")

@@ -9,7 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.compare import compare_voltages
-from repro.analysis.runtime import Timer
+from repro.obs import Stopwatch
 from repro.bench.methods import run_pcg, run_vp
 from repro.core.vp import VPConfig, VoltagePropagationSolver
 from repro.grid.conductance import stack_system
@@ -159,7 +159,7 @@ def vda_comparison(
     reference = solve_direct(matrix, rhs)
     points = []
     for policy in policies:
-        with Timer() as timer:
+        with Stopwatch("bench.vda_policy", policy=policy) as timer:
             result = VoltagePropagationSolver(
                 stack, VPConfig(vda=policy)
             ).solve()
@@ -242,7 +242,7 @@ def inner_solver_comparison(
     reference = solve_direct(matrix, rhs)
     points = []
     for inner in inners:
-        with Timer() as timer:
+        with Stopwatch("bench.inner_solver", inner=inner) as timer:
             result = VoltagePropagationSolver(
                 stack, VPConfig(inner=inner)
             ).solve()

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.memory import MemoryMeter
-from repro.analysis.runtime import Timer
+from repro.obs import Stopwatch
 from repro.core.vp import VPConfig, VoltagePropagationSolver
 from repro.errors import ReproError
 from repro.grid.conductance import stack_system
@@ -63,7 +63,7 @@ def run_vp(
         config = VPConfig(**config_kwargs)
     elif config_kwargs:
         raise ReproError("pass either a VPConfig or keyword overrides, not both")
-    with MemoryMeter() as memory, Timer() as timer:
+    with MemoryMeter() as memory, Stopwatch("bench.run_vp") as timer:
         solver = VoltagePropagationSolver(stack, config)
         result = solver.solve()
     explicit = solver.memory_bytes
@@ -99,8 +99,8 @@ def run_pcg(
     ``preconditioner``: ``none`` / ``jacobi`` / ``ssor`` / ``ic0`` /
     ``ilu`` / ``multigrid`` (the paper's [6]-style baseline).
     """
-    with MemoryMeter() as memory, Timer() as timer:
-        with Timer() as setup_timer:
+    with MemoryMeter() as memory, Stopwatch("bench.run_pcg") as timer:
+        with Stopwatch("bench.pcg_setup") as setup_timer:
             matrix, rhs = stack_system(stack)
             if preconditioner == "multigrid":
                 hierarchy = GridHierarchy.from_matrix(
@@ -135,7 +135,7 @@ def run_pcg(
 
 def run_spice(stack: PowerGridStack) -> tuple[np.ndarray, MethodResult]:
     """The SPICE column: netlist export -> MNA -> sparse LU."""
-    with MemoryMeter() as memory, Timer() as timer:
+    with MemoryMeter() as memory, Stopwatch("bench.run_spice") as timer:
         voltages, solution = solve_stack_spice(stack)
     method_result = MethodResult(
         method="spice",
@@ -156,7 +156,7 @@ def run_spice(stack: PowerGridStack) -> tuple[np.ndarray, MethodResult]:
 def run_direct(stack: PowerGridStack) -> tuple[np.ndarray, MethodResult]:
     """Direct solve of the assembled system (reference voltages without
     the netlist pipeline overhead)."""
-    with MemoryMeter() as memory, Timer() as timer:
+    with MemoryMeter() as memory, Stopwatch("bench.run_direct") as timer:
         matrix, rhs = stack_system(stack)
         solver = DirectSolver(matrix)
         x = solver.solve(rhs)

@@ -12,7 +12,11 @@ from repro.units import format_seconds
 #: ``benchmarks/conftest.py`` (documented in the README benchmark
 #: section).  Bump when fields are added/renamed so downstream perf
 #: tooling can dispatch on it.
-BENCH_SCHEMA_VERSION = 1
+#:
+#: v2: every artifact embeds a ``metrics`` object -- the delta of the
+#: :mod:`repro.obs` registry snapshot over the benchmark (counters,
+#: gauges, histograms).
+BENCH_SCHEMA_VERSION = 2
 
 
 def _stringify(cell) -> str:

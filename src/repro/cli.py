@@ -20,7 +20,10 @@ Subcommands (all offline, deterministic with ``--seed``):
 * ``repro transient`` -- experiment E14 (RC transient droop); with
   ``--sweep``, a batched multi-scenario droop sweep (load-step corners,
   ramp/pulse shapes, decap placements) sharing companion factors;
-* ``repro phases`` -- experiment E10 (VP phase breakdown).
+* ``repro phases`` -- experiment E10 (VP phase breakdown);
+* ``repro profile`` -- run any subcommand inside a telemetry session and
+  print a phase-attributed summary (the engine subcommands also accept
+  ``--profile PATH`` to write a Chrome trace-event JSON directly).
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ import sys
 
 import numpy as np
 
-from repro import __version__
+from repro import __version__, obs
 from repro.analysis.irdrop import ascii_heatmap, ir_drop_report
 from repro.bench.ablations import random_walk_trap, tsv_resistance_sweep
 from repro.bench.circuits import CIRCUITS, build_circuit
@@ -61,6 +64,15 @@ def _add_stack_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--r-tsv", type=float, default=0.05, help="TSV resistance (ohm)")
     parser.add_argument("--vdd", type=float, default=1.8, help="pin voltage (V)")
     parser.add_argument("--seed", type=int, default=0, help="synthesis seed")
+
+
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="run inside a telemetry session, write a Chrome trace-event "
+        "JSON (loadable in Perfetto / chrome://tracing) to PATH, and "
+        "print a phase-attributed summary",
+    )
 
 
 def _build_stack(args: argparse.Namespace):
@@ -608,6 +620,32 @@ def cmd_phases(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    workload = list(args.workload)
+    if workload and workload[0] == "--":
+        workload = workload[1:]
+    if not workload:
+        raise ReproError(
+            "usage: repro profile [--trace PATH] <subcommand> [args...]"
+        )
+    if workload[0] == "profile":
+        raise ReproError("cannot nest 'repro profile'")
+    inner = build_parser().parse_args(workload)
+    with obs.session(trace=True, series=not args.no_series) as tel:
+        rc = inner.func(inner)
+    print()
+    if args.trace:
+        obs.write_chrome_trace(
+            args.trace, tel.tracer.events, tel.registry.snapshot()
+        )
+        print(f"profile: trace written to {args.trace}")
+    if args.trace_csv:
+        obs.write_csv_trace(args.trace_csv, tel.tracer.events)
+        print(f"profile: span CSV written to {args.trace_csv}")
+    print(obs.render_profile(tel))
+    return rc
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -700,6 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--csv", help="write the per-scenario report as CSV")
     p.add_argument("--json", help="write the full report as JSON")
+    _add_profile_argument(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -752,6 +791,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--csv", help="write the quantile table as CSV")
     p.add_argument("--json", help="write the full report as JSON")
+    _add_profile_argument(p)
     p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser(
@@ -784,6 +824,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--csv", help="write all gradients as CSV")
     p.add_argument("--json", help="write the full report as JSON")
+    _add_profile_argument(p)
     p.set_defaults(func=cmd_sensitivity)
 
     p = sub.add_parser(
@@ -819,6 +860,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="gradient iterations (budget) / swap rounds (placement)",
     )
     p.add_argument("--json", help="write the before/after report as JSON")
+    _add_profile_argument(p)
     p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser("sweep-tsv", help="E6: GS vs TSV resistance")
@@ -888,11 +930,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--csv", help="sweep mode: write the report as CSV")
     p.add_argument("--json", help="sweep mode: write the report as JSON")
+    _add_profile_argument(p)
     p.set_defaults(func=cmd_transient)
 
     p = sub.add_parser("phases", help="E10: VP phase breakdown")
     _add_stack_arguments(p)
     p.set_defaults(func=cmd_phases)
+
+    p = sub.add_parser(
+        "profile",
+        help="run any repro subcommand under telemetry and print a "
+        "phase-attributed summary",
+    )
+    p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write the span tree as Chrome trace-event JSON (Perfetto)",
+    )
+    p.add_argument(
+        "--trace-csv", metavar="PATH", default=None,
+        help="write the flat span list as CSV",
+    )
+    p.add_argument(
+        "--no-series", action="store_true",
+        help="skip per-iteration convergence series (lowest overhead)",
+    )
+    p.add_argument(
+        "workload", nargs=argparse.REMAINDER,
+        help="the subcommand to profile, e.g. 'transient --sweep'",
+    )
+    p.set_defaults(func=cmd_profile)
 
     return parser
 
@@ -901,6 +967,18 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        profile_path = getattr(args, "profile", None)
+        if profile_path:
+            # The session wraps the whole command so setup-time spans
+            # (plane factorizations) land in the trace too.
+            with obs.session(trace=True, series=True) as tel:
+                rc = args.func(args)
+            obs.write_chrome_trace(
+                profile_path, tel.tracer.events, tel.registry.snapshot()
+            )
+            print(f"\nprofile: trace written to {profile_path}")
+            print(obs.render_profile(tel))
+            return rc
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.planes import ReducedPlaneSystem
 from repro.core.vda import VDAPolicy, make_vda_policy
 from repro.core.vp import (
@@ -447,6 +448,9 @@ class BatchedVPSolver:
         voltages = np.empty((self.n_tiers, n, n_scen))
         stats = BatchedVPStats(setup_seconds=self._setup_seconds)
         phase = stats.phase_seconds
+        tr = obs.tracer()
+        reg = obs.metrics()
+        residual_series = obs.active_series("batch.residual")
         history: list[BatchOuterRecord] = []
         active = np.ones(n_scen, dtype=bool)
         converged = np.zeros(n_scen, dtype=bool)
@@ -465,6 +469,7 @@ class BatchedVPSolver:
         for outer in range(1, config.max_outer + 1):
             idx = np.flatnonzero(active)
             stats.column_solves += idx.size
+            reg.add("batch.column_solves", int(idx.size))
             pillar_v = v0[:, idx].copy() if idx.size != n_scen else v0.copy()
             cumulative = np.zeros((n_pillars, idx.size))
             fields = []
@@ -486,7 +491,12 @@ class BatchedVPSolver:
                     x_free, pillar_v, out=voltages[l] if in_place else None
                 )
                 fields.append(v_full)
-                phase["cvn"] += time.perf_counter() - t0
+                dt = time.perf_counter() - t0
+                phase["cvn"] += dt
+                if tr.enabled:
+                    tr.add_complete(
+                        "cvn", t0, dt, outer=outer, tier=l, columns=int(idx.size)
+                    )
 
                 t0 = time.perf_counter()
                 drawn = self.planes.drawn_currents(
@@ -494,7 +504,12 @@ class BatchedVPSolver:
                     scale=scale,
                 )
                 cumulative += drawn
-                phase["tsv"] += time.perf_counter() - t0
+                dt = time.perf_counter() - t0
+                phase["tsv"] += dt
+                if tr.enabled:
+                    tr.add_complete(
+                        "tsv", t0, dt, outer=outer, tier=l, columns=int(idx.size)
+                    )
 
                 t0 = time.perf_counter()
                 pillar_v = pillar_v + cumulative * narrow(self.r_seg[l], idx)
@@ -517,6 +532,8 @@ class BatchedVPSolver:
             )
             max_f[idx] = f_active
             outer_counts[idx] = outer
+            if residual_series is not None and f_active.size:
+                residual_series.append(outer, float(f_active.max()))
 
             # Retire freshly converged scenarios: freeze their voltage
             # fields now (still-active columns are rewritten every
@@ -524,6 +541,7 @@ class BatchedVPSolver:
             # at loop exit).
             done = f_active <= config.outer_tol
             if np.any(done):
+                reg.add("batch.retirements", int(done.sum()))
                 cols = idx[done]
                 if not in_place:
                     for l in range(self.n_tiers):
@@ -562,6 +580,12 @@ class BatchedVPSolver:
 
         stats.solve_seconds = time.perf_counter() - t_start
         stats.memory_bytes = self.memory_bytes
+        reg.add("batch.outer_iterations", stats.outer_iterations)
+        if tr.enabled:
+            tr.add_complete(
+                "batch.solve", t_start, stats.solve_seconds,
+                scenarios=n_scen, outer_iterations=stats.outer_iterations,
+            )
         result = BatchedVPResult(
             voltages=voltages.reshape(
                 self.n_tiers, self.rows, self.cols, n_scen

@@ -25,9 +25,11 @@ import hashlib
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.core.tsv import plane_matrices
 from repro.grid.stack3d import PowerGridStack
 from repro.linalg.direct import DirectSolver
+from repro.obs.registry import Counter
 
 
 def tier_signature(tier) -> bytes:
@@ -128,10 +130,13 @@ class ReducedPlaneSystem:
         self.jacobi_inv: list[np.ndarray] = []
         self.b_free: list[np.ndarray] = []
         self.b_pillar: list[np.ndarray] = []
-        #: Distinct LU factorizations this system performed (0 when
-        #: ``factorize=False``) -- the unit the Monte Carlo driver's
-        #: refactorization accounting is expressed in.
-        self.n_factorizations = 0
+        # Distinct LU factorizations this system performed (0 when
+        # ``factorize=False``) -- the unit the Monte Carlo driver's
+        # refactorization accounting is expressed in.  Kept in a local
+        # instrument read through the ``n_factorizations`` property and
+        # mirrored into the active obs registry.
+        self._factorizations = Counter("planes.factorizations")
+        tr = obs.tracer()
         cache: dict[int, tuple] = {}
         for l, (matrix, rhs) in enumerate(self.planes):
             group = self.groups[l]
@@ -142,8 +147,11 @@ class ReducedPlaneSystem:
                     matrix[self.pillar_flat, :].tocsr() if pillar_rows else None
                 )
                 if factorize:
-                    cache[group] = (DirectSolver(a_ff), a_fp, a_p, None)
-                    self.n_factorizations += 1
+                    with tr.span("factorize", tier=l, n_free=self.free.size):
+                        solver = DirectSolver(a_ff)
+                    cache[group] = (solver, a_fp, a_p, None)
+                    self._factorizations.add()
+                    obs.add("planes.factorizations")
                 else:
                     cache[group] = (a_ff, a_fp, a_p, 1.0 / a_ff.diagonal())
             a_ff, a_fp, a_p, inv_diag = cache[group]
@@ -158,6 +166,12 @@ class ReducedPlaneSystem:
                 self.b_pillar.append(rhs[self.pillar_flat])
 
     # ------------------------------------------------------------------
+    @property
+    def n_factorizations(self) -> int:
+        """Distinct LU factorizations performed (read-through to the
+        local instrument so counter-asserting callers see plain ints)."""
+        return self._factorizations.value
+
     @property
     def n_free(self) -> int:
         return self.free.size
@@ -354,6 +368,12 @@ class PlaneFactorCache:
       stay at the baseline count, i.e. zero *re*-factorizations);
     * ``hits`` / ``misses`` -- lookup accounting.
 
+    The counters are read-through properties over local instruments,
+    mirrored into the active :mod:`repro.obs` registry as
+    ``cache.factorizations`` / ``cache.hits`` / ``cache.misses``; the
+    resident factor footprint is published as the ``cache.factor_bytes``
+    gauge.
+
     Cached systems are built with ``pillar_rows=True`` (the batched
     engine needs the pillar rows).  NOTE: a cached system's *base*
     right-hand sides belong to the stack it was first built from;
@@ -368,12 +388,30 @@ class PlaneFactorCache:
         self.max_entries = max_entries
         self._entries: dict[bytes, ReducedPlaneSystem] = {}
         self._pinned: set[bytes] = set()
-        self.factorizations = 0
-        self.hits = 0
-        self.misses = 0
+        self._factorizations = Counter("cache.factorizations")
+        self._hits = Counter("cache.hits")
+        self._misses = Counter("cache.misses")
+        self._factor_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def factorizations(self) -> int:
+        return self._factorizations.value
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def factor_bytes(self) -> int:
+        """Bytes held by currently resident cached systems."""
+        return self._factor_bytes
 
     def get(
         self, stack: PowerGridStack, *, pin: bool = False
@@ -389,23 +427,29 @@ class PlaneFactorCache:
         key = stack_plane_signature(stack)
         system = self._entries.pop(key, None)
         if system is not None:
-            self.hits += 1
+            self._hits.add()
+            obs.add("cache.hits")
             self._entries[key] = system  # refresh LRU position
             if pin:
                 self._pinned.add(key)
             return system
-        self.misses += 1
+        self._misses.add()
+        obs.add("cache.misses")
         system = ReducedPlaneSystem(stack, factorize=True, pillar_rows=True)
-        self.factorizations += system.n_factorizations
+        self._factorizations.add(system.n_factorizations)
+        obs.add("cache.factorizations", system.n_factorizations)
         if len(self._entries) >= self.max_entries:
             # LRU eviction of the oldest unpinned entry: one-off
             # geometries (fresh wire-field draws) churn the tail while
             # pinned baselines stay resident.
             for candidate in self._entries:
                 if candidate not in self._pinned:
+                    self._factor_bytes -= self._entries[candidate].memory_bytes
                     del self._entries[candidate]
                     break
         self._entries[key] = system
+        self._factor_bytes += system.memory_bytes
+        obs.set_gauge("cache.factor_bytes", self._factor_bytes)
         if pin:
             self._pinned.add(key)
         return system

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import GridError, ReproError
 from repro.grid.grid2d import Grid2D
 from repro.linalg.tridiagonal import TridiagonalCholesky, thomas_operation_count
@@ -286,6 +287,9 @@ class RowBasedSolver:
         sweeps = 0
         max_dx = np.inf
         prev_dx: float | None = None
+        # Hoisted once: None unless a telemetry session enabled series
+        # capture, so the per-sweep cost stays a None check.
+        series = obs.active_series("rb.max_dx")
         for sweeps in range(1, max_sweeps + 1):
             if config.ordering == "redblack":
                 max_dx = self._sweep_redblack(v, rhs_const, omega)
@@ -303,6 +307,8 @@ class RowBasedSolver:
                 max_dx = max(dx1, dx2)
             if config.record_history:
                 history.append(max_dx)
+            if series is not None:
+                series.append(sweeps, max_dx)
             # Contraction-aware stop: for a stationary iteration with
             # per-sweep contraction theta, the remaining error is bounded
             # by ~ dx * theta / (1 - theta), so a small per-sweep change

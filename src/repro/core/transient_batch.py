@@ -51,6 +51,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.batch import BatchedVPConfig, BatchedVPSolver
 from repro.core.planes import PlaneFactorCache
 from repro.core.transient import normalize_capacitance
@@ -560,6 +561,8 @@ class BatchedTransientSolver:
 
         # ------------------------------------------------------------------
         # Backward-Euler steps.
+        tr = obs.tracer()
+        reg = obs.metrics()
         for k in range(1, n_steps + 1):
             t = k * self.dt
             times[k] = t
@@ -568,8 +571,15 @@ class BatchedTransientSolver:
                     continue
                 cols_g = group.active_columns
                 column_steps += cols_g.size
+                reg.add("transient.column_steps", int(cols_g.size))
+                t0s = time.perf_counter()
                 group.comp_solver.set_rhs(group.step_rhs(group.loads_at(t)))
                 res = group.comp_solver.solve(v0=group.pillar_seed)
+                if tr.enabled:
+                    tr.add_complete(
+                        "step.solve", t0s, time.perf_counter() - t0s,
+                        step=k, scenarios=int(cols_g.size),
+                    )
                 self._raise_diverged(
                     res, [self.scenarios[c].name for c in cols_g], t
                 )
@@ -589,6 +599,7 @@ class BatchedTransientSolver:
                     )
                     retire = group.settle_count >= config.settle_window
                     if np.any(retire):
+                        reg.add("transient.retirements", int(retire.sum()))
                         retired_cols = cols_g[retire]
                         settled_step[retired_cols] = k
                         worst[k + 1 :, retired_cols] = worst[k, retired_cols]
@@ -610,6 +621,12 @@ class BatchedTransientSolver:
             factorizations=self.n_factorizations,
             column_steps=column_steps,
         )
+        reg.add("transient.steps", n_steps)
+        if tr.enabled:
+            tr.add_complete(
+                "transient.run", t_start, stats.solve_seconds,
+                steps=n_steps, scenarios=n_scen, groups=self.n_groups,
+            )
         return BatchedTransientResult(
             times=times,
             worst_voltage=worst,

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConvergenceError, GridError, ReproError
 from repro.core.planes import ReducedPlaneSystem, group_tiers
 from repro.core.rowbased import RowBasedConfig, RowBasedSolver, estimate_optimal_omega
@@ -440,6 +441,8 @@ class VoltagePropagationSolver:
         voltages = np.full((self.n_tiers, self.rows, self.cols), self.v_pin)
         stats = VPStats(setup_seconds=self._setup_seconds)
         phase = stats.phase_seconds
+        tr = obs.tracer()
+        residual_series = obs.active_series("vp.residual")
         history: list[OuterRecord] = []
         prev_max_f: float | None = None
         converged = False
@@ -458,7 +461,10 @@ class VoltagePropagationSolver:
                     l, pillar_v, voltages[l], inner_tol
                 )
                 voltages[l] = field_l
-                phase["cvn"] += time.perf_counter() - t0
+                dt = time.perf_counter() - t0
+                phase["cvn"] += dt
+                if tr.enabled:
+                    tr.add_complete("cvn", t0, dt, outer=outer, tier=l)
 
                 t0 = time.perf_counter()
                 matrix, rhs = self._planes[l]
@@ -466,7 +472,10 @@ class VoltagePropagationSolver:
                     matrix, rhs, field_l, self.pillar_flat
                 )
                 cumulative += drawn
-                phase["tsv"] += time.perf_counter() - t0
+                dt = time.perf_counter() - t0
+                phase["tsv"] += dt
+                if tr.enabled:
+                    tr.add_complete("tsv", t0, dt, outer=outer, tier=l)
 
                 t0 = time.perf_counter()
                 pillar_v = pillar_v + cumulative * self.r_seg[l]
@@ -485,6 +494,8 @@ class VoltagePropagationSolver:
                 )
             max_f = float(np.max(np.abs(residual))) if n_pillars else 0.0
             stats.total_inner_iterations += sum(inner_iters)
+            if residual_series is not None:
+                residual_series.append(outer, max_f)
             if config.record_history:
                 history.append(
                     OuterRecord(
@@ -507,6 +518,12 @@ class VoltagePropagationSolver:
 
         stats.solve_seconds = time.perf_counter() - t_start
         stats.memory_bytes = self.memory_bytes
+        obs.add("vp.outer_iterations", stats.outer_iterations)
+        if tr.enabled:
+            tr.add_complete(
+                "vp.solve", t_start, stats.solve_seconds,
+                outer_iterations=stats.outer_iterations, converged=converged,
+            )
         result = VPResult(
             voltages=voltages,
             converged=converged,

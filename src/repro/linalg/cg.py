@@ -17,6 +17,7 @@ from typing import Callable
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.errors import ReproError
 from repro.linalg.convergence import IterativeResult, StoppingCriterion
 
@@ -76,6 +77,9 @@ def cg(
         )
 
     small_steps = 0
+    # Hoisted once: None unless a telemetry session enabled series
+    # capture, so the per-iteration cost stays a None check.
+    series = obs.active_series("cg.residual")
     for iterations in range(1, max_iter + 1):
         ap = a @ p
         pap = float(p @ ap)
@@ -98,6 +102,8 @@ def cg(
             done = stop.check(residual_norm=monitored)
         if record_history:
             history.append(monitored)
+        if series is not None:
+            series.append(iterations, monitored)
         if done:
             converged = True
             break

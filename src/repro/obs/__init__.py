@@ -1,0 +1,77 @@
+"""Zero-dependency telemetry: metrics registry, span tracing, exporters.
+
+Public surface (see docs/observability.md):
+
+* :func:`session` / :class:`Telemetry` -- push a profiling session;
+  :func:`metrics` / :func:`tracer` read the active one (always present).
+* :class:`MetricsRegistry` instruments via :func:`add`,
+  :func:`set_gauge`, :func:`observe`, :func:`record_series`,
+  :func:`active_series`.
+* :func:`span` / :class:`Stopwatch` for timing; engines with existing
+  ``perf_counter`` phase math use ``tracer().add_complete``.
+* :mod:`repro.obs.export` -- Chrome trace-event JSON (Perfetto), flat
+  CSV round-trip, and :func:`span_summary` self-time aggregation.
+* :func:`render_profile` -- the ``repro profile`` summary table.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    read_csv_trace,
+    span_summary,
+    write_chrome_trace,
+    write_csv_trace,
+)
+from repro.obs.profile import render_profile
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    snapshot_delta,
+)
+from repro.obs.session import (
+    Stopwatch,
+    Telemetry,
+    active,
+    active_series,
+    add,
+    metrics,
+    observe,
+    record_series,
+    session,
+    set_gauge,
+    span,
+    tracer,
+)
+from repro.obs.trace import NULL_SPAN, SpanEvent, Tracer
+
+__all__ = [
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Series",
+    "SpanEvent",
+    "Stopwatch",
+    "Telemetry",
+    "Tracer",
+    "active",
+    "active_series",
+    "add",
+    "chrome_trace",
+    "metrics",
+    "observe",
+    "read_csv_trace",
+    "record_series",
+    "render_profile",
+    "session",
+    "set_gauge",
+    "snapshot_delta",
+    "span",
+    "span_summary",
+    "tracer",
+    "write_chrome_trace",
+    "write_csv_trace",
+]

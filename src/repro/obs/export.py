@@ -1,0 +1,133 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and flat CSV.
+
+The tracer records *flat* completed spans (absolute start, duration).
+All engines are single-threaded on one monotonic clock, so temporal
+containment is the nesting relation; :func:`walk_events` recovers the
+span tree with a single stack walk over events sorted by start time
+(ties broken longest-first so an enclosing span opens before the span
+it contains).  That one walk feeds both exporters and the summary
+aggregation, guaranteeing the B/E stream Perfetto loads and the
+self-time attribution in ``repro profile`` agree by construction.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Iterable, Iterator
+
+from repro.obs.trace import SpanEvent
+
+
+def walk_events(events: Iterable[SpanEvent]) -> Iterator[tuple[str, SpanEvent, int]]:
+    """Yield ("B"|"E", event, depth) in chronological begin/end order.
+
+    Opens spans in start order; before opening one, closes every open
+    span that ended at or before its start.  Depth is the nesting level
+    at the moment the phase applies (0 = top level).
+    """
+    stack: list[SpanEvent] = []
+    for event in sorted(events, key=lambda e: (e.t0_ns, -e.dur_ns)):
+        while stack and stack[-1].end_ns <= event.t0_ns:
+            closed = stack.pop()
+            yield "E", closed, len(stack)
+        yield "B", event, len(stack)
+        stack.append(event)
+    while stack:
+        closed = stack.pop()
+        yield "E", closed, len(stack)
+
+
+def chrome_trace(events: Iterable[SpanEvent], metrics: dict | None = None) -> dict:
+    """Trace-event JSON object (Perfetto/chrome://tracing loadable).
+
+    Timestamps are microseconds relative to the earliest span, emitted
+    as sorted duration-begin/end ("B"/"E") pairs on one pid/tid.  The
+    metrics snapshot, when given, rides along as a top-level key --
+    viewers ignore unknown keys, tooling gets counters for free.
+    """
+    events = list(events)
+    origin_ns = min((e.t0_ns for e in events), default=0)
+    trace_events = []
+    for phase, event, _depth in walk_events(events):
+        ts_ns = event.t0_ns if phase == "B" else event.end_ns
+        record = {
+            "name": event.name,
+            "ph": phase,
+            "ts": (ts_ns - origin_ns) / 1e3,
+            "pid": 1,
+            "tid": 1,
+        }
+        if phase == "B" and event.attrs:
+            record["args"] = dict(event.attrs)
+        trace_events.append(record)
+    out = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        out["metrics"] = metrics
+    return out
+
+
+def write_chrome_trace(path, events: Iterable[SpanEvent], metrics: dict | None = None) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(events, metrics), fh, indent=1)
+        fh.write("\n")
+
+
+_CSV_FIELDS = ("name", "t0_ns", "dur_ns", "attrs")
+
+
+def write_csv_trace(path, events: Iterable[SpanEvent]) -> None:
+    """Flat span CSV: one row per completed span, attrs as JSON."""
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_FIELDS)
+        for e in sorted(events, key=lambda e: (e.t0_ns, -e.dur_ns)):
+            writer.writerow(
+                [e.name, e.t0_ns, e.dur_ns, json.dumps(e.attrs) if e.attrs else ""]
+            )
+
+
+def read_csv_trace(path) -> list[SpanEvent]:
+    with open(path, encoding="utf-8", newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if tuple(header) != _CSV_FIELDS:
+            raise ValueError(f"not a repro trace CSV: header {header!r}")
+        return [
+            SpanEvent(name, int(t0), int(dur), json.loads(attrs) if attrs else None)
+            for name, t0, dur, attrs in reader
+        ]
+
+
+def span_summary(events: Iterable[SpanEvent]) -> dict[str, dict]:
+    """Per-name aggregation: count, total and self wall time, extremes.
+
+    Self time subtracts each span's direct children (found by the same
+    stack walk the exporters use), so a phase table sums to wall clock
+    without double-counting nested spans.
+    """
+    events = list(events)
+    child_ns: dict[int, int] = {}
+    stack: list[SpanEvent] = []
+    for phase, event, _depth in walk_events(events):
+        if phase != "B":
+            stack.pop()
+            continue
+        if stack:
+            parent = stack[-1]
+            child_ns[id(parent)] = child_ns.get(id(parent), 0) + event.dur_ns
+        stack.append(event)
+
+    summary: dict[str, dict] = {}
+    for e in events:
+        row = summary.setdefault(
+            e.name,
+            {"count": 0, "total_s": 0.0, "self_s": 0.0, "min_s": None, "max_s": None},
+        )
+        dur_s = e.dur_ns / 1e9
+        row["count"] += 1
+        row["total_s"] += dur_s
+        row["self_s"] += (e.dur_ns - child_ns.get(id(e), 0)) / 1e9
+        row["min_s"] = dur_s if row["min_s"] is None else min(row["min_s"], dur_s)
+        row["max_s"] = dur_s if row["max_s"] is None else max(row["max_s"], dur_s)
+    return summary

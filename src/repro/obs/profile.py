@@ -1,0 +1,93 @@
+"""Phase-attributed profile rendering for ``repro profile`` / ``--profile``.
+
+Turns one telemetry session (spans + metrics) into the human-readable
+summary the CLI prints: a span table ordered by self time, then the
+counter/gauge/histogram tallies.  ``repro.obs`` is the bottom layer of
+the tree (core/linalg/bench all import it), so the table renderer is a
+local copy of the ``bench.reporting`` style rather than an import of it.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import span_summary
+from repro.obs.session import Telemetry
+from repro.units import format_seconds
+
+
+def _stringify(cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def _ascii_table(headers: list[str], rows: list[list]) -> str:
+    text_rows = [[_stringify(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[k]) for k, h in enumerate(headers)),
+        "  ".join("-" * widths[k] for k in range(len(headers))),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[k]) for k, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_profile(tel: Telemetry) -> str:
+    """Summary text for a finished telemetry session."""
+    sections: list[str] = []
+
+    summary = span_summary(tel.tracer.events)
+    if summary:
+        rows = [
+            [
+                name,
+                row["count"],
+                format_seconds(row["total_s"]),
+                format_seconds(row["self_s"]),
+                format_seconds(row["min_s"]),
+                format_seconds(row["max_s"]),
+            ]
+            for name, row in sorted(
+                summary.items(), key=lambda kv: kv[1]["self_s"], reverse=True
+            )
+        ]
+        sections.append(
+            "spans (by self time)\n"
+            + _ascii_table(["span", "count", "total", "self", "min", "max"], rows)
+        )
+
+    reg = tel.registry
+    if reg.counters:
+        rows = [[name, c.value] for name, c in sorted(reg.counters.items())]
+        sections.append("counters\n" + _ascii_table(["counter", "value"], rows))
+    if reg.gauges:
+        rows = [[name, g.value] for name, g in sorted(reg.gauges.items())]
+        sections.append("gauges\n" + _ascii_table(["gauge", "value"], rows))
+    if reg.histograms:
+        rows = [
+            [name, h.count, h.mean, h.min, h.max]
+            for name, h in sorted(reg.histograms.items())
+            if h.count
+        ]
+        if rows:
+            sections.append(
+                "histograms\n"
+                + _ascii_table(["histogram", "count", "mean", "min", "max"], rows)
+            )
+    if reg.series_store:
+        rows = [
+            [name, len(s), s.values[-1] if s.values else None]
+            for name, s in sorted(reg.series_store.items())
+        ]
+        sections.append(
+            "convergence series\n" + _ascii_table(["series", "points", "last"], rows)
+        )
+
+    if not sections:
+        return "no telemetry recorded"
+    return "\n\n".join(sections)

@@ -1,0 +1,222 @@
+"""Metrics registry: named counters, gauges, histograms, and series.
+
+The quantities every engine in the tree keeps ad-hoc today --
+factorization counts, cache hit/miss tallies, multi-RHS columns solved,
+outer-iteration totals, bytes of factor storage -- become named
+instruments in one :class:`MetricsRegistry`, so a profiling session (or
+the bench harness) can snapshot the whole run in one call.
+
+Design constraints, in order:
+
+* **Zero dependencies.**  Pure Python; importable from anywhere in the
+  tree (``linalg`` included) without cycles.
+* **Cheap when nobody is watching.**  Counter/gauge/histogram updates
+  are scalar attribute writes -- no per-event object allocation -- so the
+  engines report unconditionally.  Only :class:`Series` (per-iteration
+  convergence traces) grows with the workload, which is why the session
+  layer gates series recording behind an explicit flag.
+* **Countable.**  ``ops`` tallies every update the registry absorbed;
+  the disabled-overhead benchmark multiplies it by the measured per-op
+  cost to bound instrumentation overhead deterministically instead of
+  diffing two noisy wall-clock runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Counter:
+    """Monotonic integer count (``add``), e.g. LU factorizations."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written scalar (``set``), e.g. bytes of factor storage."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming scalar distribution: count/total/min/max (``observe``).
+
+    Deliberately bucket-free -- the summaries the profile table needs
+    (count, mean, extremes) come from four scalars, and per-observation
+    cost stays allocation-free.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class Series:
+    """Ordered (step, value) trace, e.g. a residual per outer iteration.
+
+    The only instrument whose memory grows with the workload; the
+    session layer records into it only when series capture is enabled.
+    """
+
+    __slots__ = ("name", "steps", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.steps: list[float] = []
+        self.values: list[float] = []
+
+    def append(self, step: float, value: float) -> None:
+        self.steps.append(float(step))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def points(self) -> list[tuple[float, float]]:
+        return list(zip(self.steps, self.values))
+
+
+class MetricsRegistry:
+    """Name-keyed instrument store with get-or-create accessors."""
+
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.series_store: dict[str, Series] = {}
+        #: Updates absorbed (any instrument) -- the unit the disabled-mode
+        #: overhead bound is expressed in.
+        self.ops = 0
+
+    # -- get-or-create ---------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    def series(self, name: str) -> Series:
+        instrument = self.series_store.get(name)
+        if instrument is None:
+            instrument = self.series_store[name] = Series(name)
+        return instrument
+
+    # -- one-call updates (what the engines use) -------------------------
+    def add(self, name: str, n: int = 1) -> None:
+        self.ops += 1
+        self.counter(name).add(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.ops += 1
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.ops += 1
+        self.histogram(name).observe(value)
+
+    def record(self, name: str, step: float, value: float) -> None:
+        self.ops += 1
+        self.series(name).append(step, value)
+
+    # -- snapshots -------------------------------------------------------
+    def snapshot(self, *, include_series: bool = False) -> dict:
+        """Plain-dict view of every instrument (JSON-ready)."""
+        snap: dict = {
+            "counters": {k: c.value for k, c in self.counters.items()},
+            "gauges": {k: g.value for k, g in self.gauges.items()},
+            "histograms": {
+                k: h.summary() for k, h in self.histograms.items()
+            },
+        }
+        if include_series:
+            snap["series"] = {
+                k: {"steps": list(s.steps), "values": list(s.values)}
+                for k, s in self.series_store.items()
+            }
+        return snap
+
+
+def snapshot_delta(before: dict, after: dict) -> dict:
+    """What happened between two :meth:`MetricsRegistry.snapshot` calls.
+
+    Counters and histogram count/total are differenced; gauges and
+    histogram extremes take their final value.  This is what the bench
+    harness embeds per test: the test's own metric activity, not the
+    process-lifetime accumulation.
+    """
+    counters = {
+        name: value - before.get("counters", {}).get(name, 0)
+        for name, value in after.get("counters", {}).items()
+    }
+    histograms = {}
+    for name, summary in after.get("histograms", {}).items():
+        prior = before.get("histograms", {}).get(
+            name, {"count": 0, "total": 0.0}
+        )
+        count = summary["count"] - prior["count"]
+        total = summary["total"] - prior["total"]
+        histograms[name] = {
+            "count": count,
+            "total": total,
+            "mean": total / count if count else 0.0,
+            "min": summary["min"],
+            "max": summary["max"],
+        }
+    return {
+        "counters": {k: v for k, v in counters.items() if v},
+        "gauges": dict(after.get("gauges", {})),
+        "histograms": {k: v for k, v in histograms.items() if v["count"]},
+    }

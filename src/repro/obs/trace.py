@@ -1,0 +1,119 @@
+"""Span tracing: flat completed-span events, nested at export time.
+
+Two recording styles, one event shape:
+
+* ``with tracer.span("factorize", tier=l):`` -- the context-manager form
+  for code whose control flow tolerates a ``with`` block.
+* ``tracer.add_complete("cvn", t0, dt, tier=l)`` -- the flat form for
+  hot solver loops that already keep ``perf_counter`` phase timing;
+  they report the (start, duration) pair they measured anyway, with no
+  indentation changes to the numeric code.
+
+Both append a :class:`SpanEvent` carrying absolute start and duration.
+Because every engine here is single-threaded and spans are timed with
+one monotonic clock, containment in time *is* the nesting relation, so
+the exporters recover the span tree with a stack walk over events
+sorted by start time (see :mod:`repro.obs.export`).  Nothing in the
+hot path maintains parent pointers.
+
+When the tracer is disabled, :meth:`Tracer.span` returns the shared
+:data:`NULL_SPAN` singleton and :meth:`Tracer.add_complete` returns
+immediately -- no per-event allocation on the disabled path.  Engines
+additionally hoist ``tr = obs.tracer()`` and guard bulk instrumentation
+with ``if tr.enabled:`` so the disabled cost is one attribute read.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SpanEvent:
+    """One completed span: name, absolute start (ns), duration (ns)."""
+
+    __slots__ = ("name", "t0_ns", "dur_ns", "attrs")
+
+    def __init__(self, name: str, t0_ns: int, dur_ns: int, attrs: dict | None):
+        self.name = name
+        self.t0_ns = t0_ns
+        self.dur_ns = dur_ns
+        self.attrs = attrs
+
+    @property
+    def end_ns(self) -> int:
+        return self.t0_ns + self.dur_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanEvent({self.name!r}, t0={self.t0_ns}, dur={self.dur_ns})"
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live context-manager span; records its event on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_t0_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict | None):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self):
+        self._t0_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc):
+        t1 = time.perf_counter_ns()
+        self._tracer.events.append(
+            SpanEvent(self._name, self._t0_ns, t1 - self._t0_ns, self._attrs)
+        )
+        return False
+
+
+class Tracer:
+    """Collects :class:`SpanEvent` records when enabled."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.events: list[SpanEvent] = []
+
+    def span(self, name: str, **attrs):
+        """Context manager timing the enclosed block (or a no-op)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, attrs or None)
+
+    def add_complete(self, name: str, t0_seconds: float, dur_seconds: float, **attrs) -> None:
+        """Record an already-measured ``perf_counter`` interval.
+
+        ``time.perf_counter()`` and ``time.perf_counter_ns()`` share one
+        clock, so float-second starts convert directly into the same
+        timeline the context-manager spans live on.
+        """
+        if not self.enabled:
+            return
+        self.events.append(
+            SpanEvent(
+                name,
+                int(t0_seconds * 1e9),
+                max(0, int(dur_seconds * 1e9)),
+                attrs or None,
+            )
+        )
+
+    def clear(self) -> None:
+        self.events.clear()

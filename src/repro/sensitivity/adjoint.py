@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.batch import BatchedVPConfig, BatchedVPSolver
 from repro.core.planes import PlaneFactorCache, ReducedPlaneSystem
 from repro.core.vp import VPResult, resolve_vda_policy
@@ -366,6 +367,9 @@ class AdjointVPSolver:
         converged = False
         max_f = np.inf
         outer = 0
+        tr = obs.tracer()
+        residual_series = obs.active_series("adjoint.residual")
+        t_start = time.perf_counter()
         for outer in range(1, config.max_outer + 1):
             pillar_lam = lam0.copy()
             cumulative = np.zeros(n_pillars)
@@ -393,11 +397,19 @@ class AdjointVPSolver:
                     self.has_pin, -pillar_lam, -cumulative * self._r_unit
                 )
             max_f = float(np.max(np.abs(residual))) if n_pillars else 0.0
+            if residual_series is not None:
+                residual_series.append(outer, max_f)
             if max_f <= config.outer_tol:
                 converged = True
                 break
             lam0 = policy.update(lam0, residual)
 
+        obs.add("adjoint.outer_iterations", outer)
+        if tr.enabled:
+            tr.add_complete(
+                "adjoint.solve", t_start, time.perf_counter() - t_start,
+                outer_iterations=outer, converged=converged,
+            )
         result = AdjointResult(
             lam=fields.reshape(self.n_tiers, self.rows, self.cols),
             converged=converged,

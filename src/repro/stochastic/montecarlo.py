@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.batch import BatchedVPConfig, BatchedVPSolver
 from repro.core.planes import PlaneFactorCache
 from repro.core.vp import VPConfig, VoltagePropagationSolver
@@ -196,6 +197,8 @@ def run_monte_carlo(
     stats.setup_seconds = time.perf_counter() - t_setup
 
     t_solve = time.perf_counter()
+    tr = obs.tracer()
+    reg = obs.metrics()
 
     def solve_group(
         group_stack: PowerGridStack,
@@ -203,10 +206,15 @@ def run_monte_carlo(
         planes,
     ) -> None:
         scenarios = [draw.scenario() for draw in group]
+        t0 = time.perf_counter()
         solver = BatchedVPSolver(
             group_stack, scenarios, batched_config, planes=planes
         )
         result = solver.solve()
+        if tr.enabled:
+            tr.add_complete(
+                "mc.batch", t0, time.perf_counter() - t0, samples=len(group)
+            )
         drops = _drop_fields(result.voltages, stack.v_pin)
         field_stats.update_batch(drops)
         flat_worst = drops.reshape(-1, len(group)).max(axis=0)
@@ -216,6 +224,8 @@ def run_monte_carlo(
             outers[draw.index] = int(result.outer_iterations[j])
         stats.n_batches += 1
         stats.column_solves += result.stats.column_solves
+        reg.add("mc.batches")
+        reg.add("mc.samples", len(group))
 
     shared = [draw for draw in draws if draw.shares_baseline_planes]
     unique = [draw for draw in draws if not draw.shares_baseline_planes]

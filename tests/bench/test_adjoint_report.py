@@ -59,4 +59,5 @@ def test_bench_schema_version_is_stable():
     """The BENCH_*.json artifact schema is versioned (and documented in
     the README); bump deliberately, not by accident."""
     assert isinstance(BENCH_SCHEMA_VERSION, int)
-    assert BENCH_SCHEMA_VERSION == 1
+    # v2: metrics snapshot delta embedded in every artifact.
+    assert BENCH_SCHEMA_VERSION == 2

@@ -1,0 +1,115 @@
+"""End-to-end profiling surface: ``--profile`` and ``repro profile``.
+
+The acceptance workload is the 16-corner droop sweep: one companion
+group means exactly two plane factorizations (DC + companion), every
+backward-Euler step is one multi-column solve, and those facts must be
+visible in the exported Chrome trace and the printed summary.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+SIXTEEN_CORNERS = ",".join(
+    f"{0.4 + 0.06 * k:.2f}" for k in range(16)
+)  # 16 load-step corners -> one (plane_scale, cap_scale) group
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+def run_droop_sweep_profiled(tmp_path, capsys):
+    trace_path = tmp_path / "out.trace.json"
+    rc = run_cli(
+        "transient", "--sweep",
+        "--side", "12",
+        "--dt", "5e-10", "--t-end", "2.5e-9",
+        "--step-corners", SIXTEEN_CORNERS,
+        "--profile", str(trace_path),
+    )
+    assert rc == 0
+    return json.loads(trace_path.read_text()), capsys.readouterr().out
+
+
+class TestProfileFlag:
+    def test_trace_has_exactly_two_factorize_spans(self, tmp_path, capsys):
+        doc, _ = run_droop_sweep_profiled(tmp_path, capsys)
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "B"]
+        factorizes = [e for e in begins if e["name"] == "factorize"]
+        assert len(factorizes) == 2  # DC planes + companion planes
+
+    def test_trace_has_per_step_multicolumn_solve_spans(
+        self, tmp_path, capsys
+    ):
+        doc, _ = run_droop_sweep_profiled(tmp_path, capsys)
+        steps = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "B" and e["name"] == "step.solve"
+        ]
+        assert len(steps) == 5  # t_end/dt backward-Euler steps, one group
+        assert all(e["args"]["scenarios"] == 16 for e in steps)
+
+    def test_trace_is_loadable_and_balanced(self, tmp_path, capsys):
+        doc, _ = run_droop_sweep_profiled(tmp_path, capsys)
+        ts = [e["ts"] for e in doc["traceEvents"]]
+        assert ts == sorted(ts)
+        depth = 0
+        for e in doc["traceEvents"]:
+            depth += 1 if e["ph"] == "B" else -1
+            assert depth >= 0
+        assert depth == 0
+
+    def test_summary_counters_match_the_engine_contract(
+        self, tmp_path, capsys
+    ):
+        doc, out = run_droop_sweep_profiled(tmp_path, capsys)
+        counters = doc["metrics"]["counters"]
+        # The same zero-refactorization contract the engine tests
+        # counter-assert: one group, two systems, two factorizations.
+        assert counters["cache.factorizations"] == 2
+        assert counters["planes.factorizations"] == 2
+        assert counters["cache.misses"] == 2
+        assert counters["transient.steps"] == 5
+        assert counters["transient.column_steps"] == 5 * 16
+        # ... and the printed summary shows the same numbers.
+        assert "cache.factorizations" in out
+        assert "profile: trace written to" in out
+
+
+class TestProfileSubcommand:
+    def test_profiles_a_nested_workload(self, tmp_path, capsys):
+        trace = tmp_path / "sweep.trace.json"
+        csv = tmp_path / "sweep.csv"
+        rc = run_cli(
+            "profile", "--trace", str(trace), "--trace-csv", str(csv),
+            "sweep", "--side", "10",
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "spans (by self time)" in out
+        assert "planes.factorizations" in out
+        doc = json.loads(trace.read_text())
+        assert any(e["name"] == "factorize" for e in doc["traceEvents"])
+        assert csv.read_text().startswith("name,t0_ns,dur_ns,attrs")
+
+    def test_rejects_empty_and_nested_profile(self, capsys):
+        assert run_cli("profile") == 2
+        assert "usage: repro profile" in capsys.readouterr().err
+        assert run_cli("profile", "profile", "sweep") == 2
+        assert "cannot nest" in capsys.readouterr().err
+
+    def test_propagates_workload_exit_code(self, tmp_path, capsys):
+        # compare returns 1 on a failed budget; profile must forward it.
+        a = tmp_path / "a.solution"
+        b = tmp_path / "b.solution"
+        a.write_text("n1 1.0\n")
+        b.write_text("n1 1.5\n")
+        rc = run_cli(
+            "profile", "compare", str(a), str(b), "--budget", "1e-6"
+        )
+        assert rc == 1

@@ -1,0 +1,128 @@
+"""Exporter contracts: Chrome trace-event JSON, CSV round-trip, summary."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SpanEvent,
+    chrome_trace,
+    read_csv_trace,
+    span_summary,
+    write_chrome_trace,
+    write_csv_trace,
+)
+
+
+def sample_events() -> list[SpanEvent]:
+    """A realistic flat-span set: two factorizations, then an outer
+    solve containing per-tier phases (all times in ns on one clock)."""
+    return [
+        SpanEvent("factorize", 100, 50, {"tier": 0}),
+        SpanEvent("factorize", 200, 40, None),
+        SpanEvent("batch.solve", 300, 700, {"scenarios": 4}),
+        SpanEvent("cvn", 310, 100, {"tier": 0}),
+        SpanEvent("tsv", 420, 50, {"tier": 0}),
+        SpanEvent("cvn", 500, 100, {"tier": 1}),
+    ]
+
+
+class TestChromeTrace:
+    def test_timestamps_sorted_and_pairs_matched(self):
+        doc = chrome_trace(sample_events())
+        events = doc["traceEvents"]
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        depth = 0
+        for e in events:
+            assert e["ph"] in ("B", "E")
+            depth += 1 if e["ph"] == "B" else -1
+            assert depth >= 0
+        assert depth == 0  # every B has a matching E
+
+    def test_nesting_from_time_containment(self):
+        doc = chrome_trace(sample_events())
+        open_stack: list[str] = []
+        seen_parent_of_cvn = []
+        for e in doc["traceEvents"]:
+            if e["ph"] == "B":
+                if e["name"] == "cvn":
+                    seen_parent_of_cvn.append(open_stack[-1])
+                open_stack.append(e["name"])
+            else:
+                open_stack.pop()
+        # Both cvn phases sit inside the enclosing batch.solve span.
+        assert seen_parent_of_cvn == ["batch.solve", "batch.solve"]
+
+    def test_ts_normalized_to_origin_microseconds(self):
+        doc = chrome_trace(sample_events())
+        first = doc["traceEvents"][0]
+        assert first["name"] == "factorize"
+        assert first["ts"] == 0.0  # 100 ns origin subtracted
+        # 200 ns after origin -> 0.1 us
+        second_factorize = doc["traceEvents"][2]
+        assert second_factorize["ts"] == pytest.approx(0.1)
+
+    def test_attrs_become_args_on_begin_only(self):
+        doc = chrome_trace(sample_events())
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "B"]
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "E"]
+        assert {"scenarios": 4} in [b.get("args") for b in begins]
+        assert all("args" not in e for e in ends)
+
+    def test_write_embeds_metrics_and_is_valid_json(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(
+            path, sample_events(), {"counters": {"cache.hits": 3}}
+        )
+        doc = json.loads(path.read_text())
+        assert doc["metrics"]["counters"]["cache.hits"] == 3
+        assert len(doc["traceEvents"]) == 2 * len(sample_events())
+
+    def test_empty_trace(self):
+        assert chrome_trace([])["traceEvents"] == []
+
+
+class TestCsvRoundTrip:
+    def test_round_trips_events_exactly(self, tmp_path):
+        path = tmp_path / "spans.csv"
+        events = sample_events()
+        write_csv_trace(path, events)
+        back = read_csv_trace(path)
+        assert len(back) == len(events)
+        original = sorted(events, key=lambda e: (e.t0_ns, -e.dur_ns))
+        for a, b in zip(original, back):
+            assert (a.name, a.t0_ns, a.dur_ns, a.attrs) == (
+                b.name,
+                b.t0_ns,
+                b.dur_ns,
+                b.attrs,
+            )
+
+    def test_rejects_foreign_csv(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="not a repro trace CSV"):
+            read_csv_trace(path)
+
+
+class TestSpanSummary:
+    def test_self_time_subtracts_direct_children(self):
+        summary = span_summary(sample_events())
+        batch = summary["batch.solve"]
+        assert batch["count"] == 1
+        assert batch["total_s"] == pytest.approx(700e-9)
+        # children: cvn(100) + tsv(50) + cvn(100) = 250 ns
+        assert batch["self_s"] == pytest.approx(450e-9)
+        cvn = summary["cvn"]
+        assert cvn["count"] == 2
+        assert cvn["total_s"] == pytest.approx(200e-9)
+        assert cvn["self_s"] == pytest.approx(200e-9)
+
+    def test_min_max_per_name(self):
+        summary = span_summary(sample_events())
+        fact = summary["factorize"]
+        assert fact["min_s"] == pytest.approx(40e-9)
+        assert fact["max_s"] == pytest.approx(50e-9)

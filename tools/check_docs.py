@@ -135,7 +135,17 @@ def check_shell_block(
             )
             continue
         known = surface[subcommand]
-        for token in tokens[2:]:
+        rest = tokens[tokens.index(subcommand) + 1 :]
+        if subcommand == "profile":
+            # ``repro profile <subcommand> ...`` nests a full workload:
+            # flags after the nested subcommand belong to *its* parser.
+            # Flag *values* (trace paths etc.) also appear as bare
+            # tokens, so match the first token naming a real
+            # subcommand rather than the first non-dash token.
+            nested = next((t for t in rest if t in surface), None)
+            if nested is not None:
+                known = known | surface[nested]
+        for token in rest:
             if not token.startswith("--"):
                 continue
             flag = token.split("=", 1)[0]
