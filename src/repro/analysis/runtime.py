@@ -9,6 +9,8 @@ code should use ``Stopwatch`` (with a span name) directly.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.obs.session import Stopwatch
 
 
@@ -22,4 +24,11 @@ class Timer(Stopwatch):
     __slots__ = ()
 
     def __init__(self) -> None:
+        # stacklevel=2 attributes the warning to the caller's line, not
+        # this shim -- the actionable location for migrating off Timer.
+        warnings.warn(
+            "Timer is deprecated; use repro.obs.Stopwatch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__("timed")

@@ -196,6 +196,10 @@ class ReducedPlaneSystem:
         applying per column.
         """
         base = self.b_free[tier_index] if b_free is None else b_free
+        if b_free is not None and pillar_v.ndim == 2 and not pillar_v.any():
+            # Pure back-substitution (low-rank Z and correction solves
+            # pass zero pillar voltages): skip the coupling product.
+            return np.asfortranarray(base)
         coupling = self.a_fp[tier_index] @ pillar_v
         if scale is not None:
             coupling = coupling * scale
@@ -318,6 +322,49 @@ class ReducedPlaneSystem:
         if self.has_pillar_rows:
             self.b_pillar[tier_index] = rhs_full[self.pillar_flat]
 
+    def low_rank_update(
+        self,
+        tier_index: int,
+        u,
+        c,
+        v=None,
+        *,
+        z: np.ndarray | None = None,
+        keep_z: bool = True,
+    ):
+        """Bind a Sherman-Morrison-Woodbury update ``A_ff -> A_ff + U C V^T``
+        to this tier's cached factors.
+
+        The returned :class:`repro.linalg.lowrank.LowRankUpdate` solves
+        the *edited* reduced system for the cost of back-substitutions
+        against the existing LU -- the ECO engine's primitive.  ``u``/``v``
+        are ``(n_free, k)`` columns in the free-node partition; ``z``
+        optionally supplies a precomputed ``A_ff^{-1} U`` (batched
+        callers form all updates' ``Z`` blocks in one multi-column
+        :meth:`solve_free` call).
+        """
+        from repro.linalg.lowrank import LowRankUpdate
+
+        if not self.factorized:
+            raise RuntimeError("low_rank_update needs factorize=True")
+        zero_p = np.zeros(self.n_pillars)
+
+        def base(rhs: np.ndarray) -> np.ndarray:
+            pillar_v = zero_p if rhs.ndim == 1 else np.zeros(
+                (self.n_pillars, rhs.shape[1])
+            )
+            return self.solve_free(tier_index, pillar_v, b_free=rhs)
+
+        def base_t(rhs: np.ndarray) -> np.ndarray:
+            pillar_v = zero_p if rhs.ndim == 1 else np.zeros(
+                (self.n_pillars, rhs.shape[1])
+            )
+            return self.solve_free_transpose(tier_index, pillar_v, b_free=rhs)
+
+        return LowRankUpdate(
+            base, u, c, v, z=z, keep_z=keep_z, base_solve_transpose=base_t
+        )
+
     # ------------------------------------------------------------------
     @property
     def memory_bytes(self) -> int:
@@ -366,13 +413,16 @@ class PlaneFactorCache:
     * ``factorizations`` -- total LU factorizations performed through the
       cache (the quantity benchmarks assert on: a TSV-only sweep must
       stay at the baseline count, i.e. zero *re*-factorizations);
-    * ``hits`` / ``misses`` -- lookup accounting.
+    * ``hits`` / ``misses`` -- lookup accounting;
+    * ``evictions`` -- entries LRU-evicted at capacity (an ECO session
+      sweeping many geometry variants thrashes a too-small cache, and
+      this counter is how that shows up in telemetry).
 
     The counters are read-through properties over local instruments,
     mirrored into the active :mod:`repro.obs` registry as
-    ``cache.factorizations`` / ``cache.hits`` / ``cache.misses``; the
-    resident factor footprint is published as the ``cache.factor_bytes``
-    gauge.
+    ``cache.factorizations`` / ``cache.hits`` / ``cache.misses`` /
+    ``cache.evictions``; the resident factor footprint is published as
+    the ``cache.factor_bytes`` gauge.
 
     Cached systems are built with ``pillar_rows=True`` (the batched
     engine needs the pillar rows).  NOTE: a cached system's *base*
@@ -391,6 +441,7 @@ class PlaneFactorCache:
         self._factorizations = Counter("cache.factorizations")
         self._hits = Counter("cache.hits")
         self._misses = Counter("cache.misses")
+        self._evictions = Counter("cache.evictions")
         self._factor_bytes = 0
 
     def __len__(self) -> int:
@@ -407,6 +458,10 @@ class PlaneFactorCache:
     @property
     def misses(self) -> int:
         return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     @property
     def factor_bytes(self) -> int:
@@ -446,6 +501,8 @@ class PlaneFactorCache:
                 if candidate not in self._pinned:
                     self._factor_bytes -= self._entries[candidate].memory_bytes
                     del self._entries[candidate]
+                    self._evictions.add()
+                    obs.add("cache.evictions")
                     break
         self._entries[key] = system
         self._factor_bytes += system.memory_bytes
@@ -453,3 +510,17 @@ class PlaneFactorCache:
         if pin:
             self._pinned.add(key)
         return system
+
+    def unpin(self, stack: PowerGridStack) -> bool:
+        """Release a pin taken by ``get(stack, pin=True)``.
+
+        The entry stays cached but becomes LRU-evictable again -- how a
+        long-lived holder (an :class:`repro.eco.EcoSession` closing, a
+        finished Monte Carlo run) hands its baseline factors back to the
+        pool.  Returns whether the geometry was actually pinned.
+        """
+        key = stack_plane_signature(stack)
+        if key in self._pinned:
+            self._pinned.discard(key)
+            return True
+        return False

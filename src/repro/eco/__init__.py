@@ -1,0 +1,71 @@
+"""Incremental ECO re-analysis: low-rank updates on cached plane factors.
+
+Engineering change orders are local edits of a signed-off grid; this
+package evaluates hundreds of such what-ifs without ever re-factorizing
+the plane systems.  :mod:`repro.eco.edits` is the edit algebra (each
+edit compiles to a Sherman-Morrison-Woodbury perturbation of the
+affected tier plus RHS / propagation-phase deltas),
+:mod:`repro.eco.engine` is the batched candidates-x-scenarios SMW
+solver, :mod:`repro.eco.session` pins base factors and ranks candidates,
+and :mod:`repro.eco.sweeps` generates candidate families for the
+``repro eco`` CLI.
+"""
+
+from repro.eco.edits import (
+    CompiledCandidate,
+    DecapEdit,
+    EcoCandidate,
+    EcoEdit,
+    LoadEdit,
+    PadMoveEdit,
+    PinMaskEdit,
+    PinMoveEdit,
+    StrapEdit,
+    TsvResizeEdit,
+    WireWidthEdit,
+    compile_candidate,
+    dump_candidates,
+    edit_from_dict,
+    load_candidates,
+)
+from repro.eco.engine import EcoBatchResult, EcoBatchSolver, EcoBatchStats
+from repro.eco.session import EcoConfig, EcoReport, EcoRow, EcoSession
+from repro.eco.sweeps import (
+    SWEEP_KINDS,
+    generate_candidates,
+    pin_sweep,
+    strap_sweep,
+    tsv_sweep,
+    width_sweep,
+)
+
+__all__ = [
+    "CompiledCandidate",
+    "DecapEdit",
+    "EcoBatchResult",
+    "EcoBatchSolver",
+    "EcoBatchStats",
+    "EcoCandidate",
+    "EcoConfig",
+    "EcoEdit",
+    "EcoReport",
+    "EcoRow",
+    "EcoSession",
+    "LoadEdit",
+    "PadMoveEdit",
+    "PinMaskEdit",
+    "PinMoveEdit",
+    "StrapEdit",
+    "SWEEP_KINDS",
+    "TsvResizeEdit",
+    "WireWidthEdit",
+    "compile_candidate",
+    "dump_candidates",
+    "edit_from_dict",
+    "generate_candidates",
+    "load_candidates",
+    "pin_sweep",
+    "strap_sweep",
+    "tsv_sweep",
+    "width_sweep",
+]

@@ -1,0 +1,186 @@
+"""Generated ECO candidate sweeps: what-if families for `repro eco`.
+
+Each generator emits a deterministic family of single-edit candidates
+over one stack -- the "explore the design neighborhood" mode of the CLI
+(the other mode reads an explicit candidate file).  Determinism matters:
+the benchmark and the CI smoke run regenerate the same 128-candidate
+strap sweep from the same seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eco.edits import (
+    EcoCandidate,
+    PinMoveEdit,
+    StrapEdit,
+    TsvResizeEdit,
+    WireWidthEdit,
+)
+from repro.errors import ReproError
+from repro.grid.stack3d import PowerGridStack
+
+__all__ = [
+    "SWEEP_KINDS",
+    "generate_candidates",
+    "pin_sweep",
+    "strap_sweep",
+    "tsv_sweep",
+    "width_sweep",
+]
+
+
+def strap_sweep(
+    stack: PowerGridStack,
+    n: int,
+    *,
+    tier: int = 0,
+    g_strap: float = 2.0,
+    span_length: int | None = None,
+    seed: int = 0,
+) -> list[EcoCandidate]:
+    """``n`` single-strap candidates on random rows/columns of ``tier``.
+
+    ``span_length`` bounds each strap to that many consecutive segments
+    at a random offset (the realistic local-ECO shape, and what keeps
+    the low-rank width small); ``None`` runs full-length straps.
+    """
+    rng = np.random.default_rng(seed)
+    sites = [("h", i) for i in range(stack.rows)] + [
+        ("v", j) for j in range(stack.cols)
+    ]
+    picks = rng.choice(len(sites), size=min(n, len(sites)), replace=False)
+    candidates = []
+    for k, pick in enumerate(picks):
+        orientation, index = sites[int(pick)]
+        limit = stack.cols - 1 if orientation == "h" else stack.rows - 1
+        span = None
+        if span_length is not None:
+            length = min(int(span_length), limit)
+            start = int(rng.integers(0, limit - length + 1))
+            span = (start, start + length)
+        candidates.append(
+            EcoCandidate(
+                name=f"strap-{orientation}{index}",
+                edits=(StrapEdit(tier, orientation, index, g_strap, span),),
+            )
+        )
+    if len(candidates) < n:
+        raise ReproError(
+            f"grid offers only {len(sites)} strap sites, {n} requested"
+        )
+    return candidates
+
+
+def width_sweep(
+    stack: PowerGridStack,
+    n: int,
+    *,
+    tier: int = 0,
+    scale: float = 2.0,
+    patch: int = 3,
+    seed: int = 0,
+) -> list[EcoCandidate]:
+    """``n`` wire-widening candidates: scale every segment inside a
+    random ``patch x patch`` window of ``tier`` by ``scale``."""
+    if patch < 1 or patch > min(stack.rows, stack.cols):
+        raise ReproError(f"patch {patch} does not fit the grid")
+    rng = np.random.default_rng(seed)
+    candidates = []
+    for k in range(n):
+        i0 = int(rng.integers(0, stack.rows - patch + 1))
+        j0 = int(rng.integers(0, stack.cols - patch + 1))
+        edges: list[tuple[str, int, int]] = []
+        for i in range(i0, i0 + patch):
+            for j in range(j0, j0 + patch - 1):
+                edges.append(("h", i, j))
+        for i in range(i0, i0 + patch - 1):
+            for j in range(j0, j0 + patch):
+                edges.append(("v", i, j))
+        candidates.append(
+            EcoCandidate(
+                name=f"width-{i0}.{j0}",
+                edits=(WireWidthEdit(tier, tuple(edges), scale),),
+            )
+        )
+    return candidates
+
+
+def tsv_sweep(
+    stack: PowerGridStack,
+    n: int,
+    *,
+    scale: float = 0.5,
+    group: int = 4,
+    seed: int = 0,
+) -> list[EcoCandidate]:
+    """``n`` TSV-resize candidates: scale ``r_seg`` of a random pillar
+    group by ``scale`` (halving resistance = doubling the via)."""
+    count = stack.pillars.count
+    if count == 0:
+        raise ReproError("stack has no pillars to resize")
+    rng = np.random.default_rng(seed)
+    group = min(group, count)
+    candidates = []
+    for k in range(n):
+        pillars = tuple(
+            int(p) for p in rng.choice(count, size=group, replace=False)
+        )
+        candidates.append(
+            EcoCandidate(
+                name=f"tsv-{k}",
+                edits=(TsvResizeEdit(pillars, scale),),
+            )
+        )
+    return candidates
+
+
+def pin_sweep(
+    stack: PowerGridStack, n: int, *, seed: int = 0
+) -> list[EcoCandidate]:
+    """``n`` pin-move candidates: relocate one random package pin to a
+    random unpinned pillar (rank-0; requires a partial pin map)."""
+    mask = stack.pillars.has_pin
+    pinned = np.flatnonzero(mask)
+    open_sites = np.flatnonzero(~mask)
+    if open_sites.size == 0:
+        raise ReproError(
+            "every pillar is pinned; pin sweep needs open sites "
+            "(synthesize with pin_fraction < 1)"
+        )
+    rng = np.random.default_rng(seed)
+    candidates = []
+    for k in range(n):
+        src = int(pinned[rng.integers(0, pinned.size)])
+        dst = int(open_sites[rng.integers(0, open_sites.size)])
+        candidates.append(
+            EcoCandidate(
+                name=f"pin-{src}to{dst}",
+                edits=(PinMoveEdit(src, dst),),
+            )
+        )
+    return candidates
+
+
+SWEEP_KINDS = {
+    "strap": strap_sweep,
+    "width": width_sweep,
+    "tsv": tsv_sweep,
+    "pin": pin_sweep,
+}
+
+
+def generate_candidates(
+    stack: PowerGridStack, kind: str, n: int, *, seed: int = 0, **kwargs
+) -> list[EcoCandidate]:
+    """Dispatch to one of the sweep families (the CLI's ``--sweep``)."""
+    generator = SWEEP_KINDS.get(kind)
+    if generator is None:
+        raise ReproError(
+            f"unknown sweep kind {kind!r}; expected one of "
+            f"{sorted(SWEEP_KINDS)}"
+        )
+    if n < 1:
+        raise ReproError("sweep needs at least one candidate")
+    return generator(stack, n, seed=seed, **kwargs)

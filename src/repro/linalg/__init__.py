@@ -4,7 +4,8 @@ Everything the paper's methods and baselines need: tridiagonal (Thomas)
 solvers for row systems, stationary iterations (Jacobi / Gauss-Seidel /
 SOR), conjugate gradients with a family of preconditioners (Jacobi, SSOR,
 IC(0), ILU, geometric multigrid), a standalone multigrid solver, a direct
-sparse solver, and the random-walk solver of Qian-Nassif-Sapatnekar.
+sparse solver, Sherman-Morrison-Woodbury low-rank updates over cached
+factors, and the random-walk solver of Qian-Nassif-Sapatnekar.
 """
 
 from repro.linalg.convergence import IterativeResult, StoppingCriterion
@@ -15,6 +16,7 @@ from repro.linalg.tridiagonal import (
     TridiagonalCholesky,
 )
 from repro.linalg.direct import DirectSolver, TriangularOperator, solve_direct
+from repro.linalg.lowrank import LowRankUpdate
 from repro.linalg.stationary import jacobi, gauss_seidel, sor, ssor_sweep
 from repro.linalg.cg import cg
 from repro.linalg.preconditioners import (
@@ -42,6 +44,7 @@ __all__ = [
     "solve_tridiagonal",
     "TridiagonalCholesky",
     "DirectSolver",
+    "LowRankUpdate",
     "TriangularOperator",
     "solve_direct",
     "jacobi",

@@ -1,0 +1,217 @@
+"""Sherman-Morrison-Woodbury low-rank updates against a frozen base solve.
+
+A local grid edit (strap insert, wire-width resize, pad move) perturbs a
+plane matrix by a rank-``k`` term ``A -> A + U C V^T`` with ``k`` in the
+single digits to low hundreds while ``A`` is sparse with ``n`` in the
+millions.  Re-factorizing ``A`` per edit throws away the expensive LU;
+the Woodbury identity keeps it:
+
+    (A + U C V^T)^{-1} b
+        = A^{-1} b - A^{-1} U (C^{-1} + V^T A^{-1} U)^{-1} V^T A^{-1} b
+
+The ``k x k`` *capacitance matrix* ``S = C^{-1} + V^T A^{-1} U`` is
+formed once per update (``k`` back-substitutions against the base
+factors) and dense-factorized; every subsequent solve then costs one
+base back-substitution plus ``O(nk)`` correction work -- or two
+back-substitutions when ``keep_z=False`` trades the stored ``(n, k)``
+block ``Z = A^{-1} U`` for memory (the batched ECO engine's mode: many
+concurrent updates would otherwise hold gigabytes of ``Z`` blocks).
+
+The base solve is abstract (any callable mapping ``(n, m)`` right-hand
+sides to solutions), so the kernel is backend-clean: a future GPU
+backend only has to supply device-resident ``base_solve`` /
+``base_solve_transpose`` callables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as la
+import scipy.sparse as sp
+
+from repro.errors import SingularSystemError
+
+
+def _as_columns(matrix):
+    """CSC for sparse inputs (fast column slicing / products), dense
+    float array otherwise."""
+    if sp.issparse(matrix):
+        return matrix.tocsc()
+    return np.asarray(matrix, dtype=float)
+
+
+def _dense(matrix) -> np.ndarray:
+    return matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix, float)
+
+
+class LowRankUpdate:
+    """One factorized SMW update ``A -> A + U C V^T`` over a base solve.
+
+    Parameters
+    ----------
+    base_solve:
+        Callable ``rhs -> A^{-1} rhs`` accepting ``(n,)`` or ``(n, m)``
+        right-hand sides (e.g. a bound
+        :meth:`repro.core.planes.ReducedPlaneSystem.solve_free`).
+    u:
+        ``(n, k)`` update columns, sparse or dense.
+    c:
+        Core coupling: a ``(k,)`` diagonal (the common case -- one
+        conductance delta per edited element) or a full ``(k, k)``
+        matrix.  Must be invertible.
+    v:
+        ``(n, k)`` left columns; defaults to ``u`` (symmetric update,
+        the nodal-Laplacian case).
+    z:
+        Optional precomputed ``A^{-1} U`` -- callers that batch many
+        updates compute all ``Z`` blocks in one multi-column base solve
+        and hand each update its slice, so construction performs no
+        solve at all.
+    keep_z:
+        Keep ``Z`` resident (solves cost one back-substitution) or drop
+        it after forming ``S`` (solves cost two).
+    base_solve_transpose:
+        Callable ``rhs -> A^{-T} rhs`` enabling :meth:`solve_transpose`;
+        defaults to ``base_solve`` (exact for symmetric ``A``).
+
+    Raises
+    ------
+    SingularSystemError
+        When ``C`` or the capacitance matrix ``S`` is (numerically)
+        singular -- e.g. an edit that disconnects part of the grid.
+    """
+
+    def __init__(
+        self,
+        base_solve,
+        u,
+        c,
+        v=None,
+        *,
+        z: np.ndarray | None = None,
+        keep_z: bool = True,
+        base_solve_transpose=None,
+    ):
+        self.base_solve = base_solve
+        self.base_solve_transpose = (
+            base_solve if base_solve_transpose is None else base_solve_transpose
+        )
+        self.u = _as_columns(u)
+        self.v = self.u if v is None else _as_columns(v)
+        if self.u.shape != self.v.shape:
+            raise SingularSystemError(
+                f"U shape {self.u.shape} != V shape {self.v.shape}"
+            )
+        self.rank = int(self.u.shape[1])
+        c = np.asarray(c, dtype=float)
+        if self.rank == 0:
+            # Empty update: solves fall through to the base solve.
+            self._lu = None
+            self.z = None
+            self._zt = None
+            self.weights = c.reshape(0)
+            return
+        if c.ndim == 1:
+            if c.shape != (self.rank,):
+                raise SingularSystemError(
+                    f"diagonal core has {c.shape[0]} weights for rank {self.rank}"
+                )
+            if np.any(c == 0.0):
+                raise SingularSystemError("core diagonal contains zero weights")
+            c_inv = np.diag(1.0 / c)
+        else:
+            if c.shape != (self.rank, self.rank):
+                raise SingularSystemError(
+                    f"core shape {c.shape} != ({self.rank}, {self.rank})"
+                )
+            try:
+                c_inv = la.inv(c)
+            except la.LinAlgError as exc:
+                raise SingularSystemError(f"singular core matrix: {exc}") from exc
+        self.weights = c
+
+        if z is None:
+            z = self.base_solve(_dense(self.u))
+        z = np.asarray(z, dtype=float)
+        if z.shape != self.u.shape:
+            raise SingularSystemError(
+                f"Z shape {z.shape} != U shape {self.u.shape}"
+            )
+        s = c_inv + np.asarray(self.v.T @ z, dtype=float)
+        self._lu = la.lu_factor(s, check_finite=False)
+        diag = np.abs(np.diag(self._lu[0]))
+        floor = np.finfo(float).eps * max(float(diag.max(initial=0.0)), 1.0)
+        if diag.size == 0 or float(diag.min()) <= floor:
+            raise SingularSystemError(
+                "singular capacitance matrix: the update removes the "
+                "system's last coupling (e.g. an edit disconnecting the grid)"
+            )
+        self.z = z if keep_z else None
+        self._zt: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def capacitance_solve(self, rhs: np.ndarray, trans: int = 0) -> np.ndarray:
+        """Solve against the small dense capacitance factorization:
+        ``S t = rhs`` (``trans=0``) or ``S^T t = rhs`` (``trans=1``)."""
+        if self._lu is None:
+            raise SingularSystemError("rank-0 update has no capacitance matrix")
+        return la.lu_solve(self._lu, rhs, trans=trans, check_finite=False)
+
+    def correct(self, y: np.ndarray) -> np.ndarray:
+        """Turn a base solution ``y = A^{-1} b`` into the updated-system
+        solution -- the Woodbury correction ``y - Z S^{-1} V^T y``.
+
+        Costs ``O(nk)`` when ``Z`` is resident, one extra base
+        back-substitution otherwise.
+        """
+        if self.rank == 0:
+            return y
+        t = self.capacitance_solve(np.asarray(self.v.T @ y, dtype=float))
+        if self.z is not None:
+            return y - self.z @ t
+        return y - np.asarray(self.base_solve(_dense_product(self.u, t)), float)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """``(A + U C V^T)^{-1} b`` for ``(n,)`` or ``(n, m)`` ``b``."""
+        return self.correct(np.asarray(self.base_solve(b), dtype=float))
+
+    def solve_transpose(self, b: np.ndarray) -> np.ndarray:
+        """``(A + U C V^T)^{-T} b`` -- the adjoint of :meth:`solve`.
+
+        Runs on the *transposed* base factors and the transposed
+        capacitance factorization: ``(A^T + V C^T U^T)^{-1}`` has
+        capacitance matrix ``C^{-T} + U^T A^{-T} V = S^T``, so no new
+        small factorization is needed either.
+        """
+        y = np.asarray(self.base_solve_transpose(b), dtype=float)
+        if self.rank == 0:
+            return y
+        t = self.capacitance_solve(np.asarray(self.u.T @ y, float), trans=1)
+        if self._zt is None:
+            self._zt = np.asarray(
+                self.base_solve_transpose(_dense(self.v)), dtype=float
+            )
+        return y - self._zt @ t
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Resident footprint of the update (factors + stored blocks)."""
+        total = self.rank * self.rank * 8
+        for block in (self.z, self._zt):
+            if block is not None:
+                total += block.nbytes
+        for cols in (self.u, self.v):
+            if sp.issparse(cols):
+                total += cols.data.nbytes + cols.indices.nbytes
+            else:
+                total += cols.nbytes
+        return int(total)
+
+
+def _dense_product(u, t: np.ndarray) -> np.ndarray:
+    """``U @ t`` as a dense array (sparse @ dense already is)."""
+    return np.asarray(u @ t, dtype=float)
+
+
+__all__ = ["LowRankUpdate"]

@@ -22,7 +22,11 @@ The refinement loop is classic greedy steered by those prices:
 
 Pin masks never enter the plane matrices (only the propagation phase
 reads ``has_pin``), so every candidate evaluation is a cache-hit solve
--- the whole refinement performs zero new factorizations.
+-- the whole refinement performs zero new factorizations.  The inner
+loop runs through an :class:`~repro.eco.EcoSession`: each trial pin set
+is a rank-0 :class:`~repro.eco.PinMaskEdit` candidate against the one
+pinned base, and a greedy round evaluates *all* its swap proposals in a
+single batched sweep instead of one solve per proposal.
 """
 
 from __future__ import annotations
@@ -32,8 +36,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.batch import BatchedVPConfig, BatchedVPSolver
 from repro.core.planes import PlaneFactorCache
+from repro.eco.edits import PinMaskEdit
+from repro.eco.session import EcoConfig, EcoSession
 from repro.errors import ReproError
 from repro.grid.stack3d import PowerGridStack
 from repro.scenarios.spec import Scenario, ScenarioSet
@@ -149,46 +154,55 @@ def refine_pin_placement(
         )
 
     scenario_set = (
-        ScenarioSet([Scenario(name="nominal")])
+        ScenarioSet([Scenario.nominal()])
         if scenarios is None
         else ScenarioSet.ensure(scenarios)
     )
     cache = cache or PlaneFactorCache()
-    planes = cache.get(stack, pin=True)
-    # Baseline priming above is the only factorization a refinement may
+    session = EcoSession(
+        stack,
+        scenarios=scenario_set,
+        config=EcoConfig(
+            outer_tol=config.forward_tol,
+            max_outer=config.max_outer,
+            v0_init="loadshare",
+        ),
+        cache=cache,
+    )
+    planes = session.planes
+    # Opening the session is the only factorization a refinement may
     # perform; pin masks never change the factor-cache key.
     factorizations0 = cache.factorizations
     metric = SmoothWorstDrop(beta=config.beta)
     sign = net_sign(stack.net)
-    forward_config = BatchedVPConfig(
-        outer_tol=config.forward_tol,
-        max_outer=config.max_outer,
-        v0_init="loadshare",
-        record_history=False,
-    )
     pillar_flat = stack.pillar_flat_indices()
     top = stack.n_tiers - 1
 
-    def solve(pin_mask: np.ndarray):
-        """(worst drop, binding corner, result) for one pin set."""
-        candidate = stack.with_pin_mask(pin_mask)
-        solver = BatchedVPSolver(
-            candidate, scenario_set, forward_config, planes=planes
-        )
-        result = solver.solve()
-        if not result.converged.all():
-            return np.inf, 0, result
-        drops = result.worst_ir_drop()
-        corner = int(np.argmax(drops))
-        return float(drops[corner]), corner, result
+    def evaluate_masks(masks: list[np.ndarray]):
+        """One incremental sweep over trial pin sets (rank-0 columns)."""
+        return session.evaluate(
+            [
+                PinMaskEdit(tuple(bool(b) for b in pin_mask))
+                for pin_mask in masks
+            ]
+        ).result
 
-    def pin_prices(pin_mask: np.ndarray, corner: int, result) -> np.ndarray:
+    def solve(pin_mask: np.ndarray):
+        """(worst drop, binding corner, (T, R, C) corner voltages) for
+        one pin set."""
+        result = evaluate_masks([pin_mask])
+        if not result.converged.all():
+            return np.inf, 0, None
+        drops = result.worst_ir_drop()[0]
+        corner = int(np.argmax(drops))
+        return float(drops[corner]), corner, result.candidate_voltages(0, corner)
+
+    def pin_prices(pin_mask: np.ndarray, corner: int, voltages) -> np.ndarray:
         """First-order metric change per unit of top-segment conductance
         at every pillar (negative = a pin there helps)."""
         candidate, alpha = scenario_rhs_overlay(
             stack.with_pin_mask(pin_mask), scenario_set[corner]
         )
-        voltages = result.voltages[..., corner]
         injection = metric.dv(voltages, stack.v_pin, sign)
         adjoint = AdjointVPSolver(
             candidate,
@@ -206,71 +220,93 @@ def refine_pin_placement(
         v_top = voltages.reshape(stack.n_tiers, -1)[top, pillar_flat]
         return lam_top * (stack.v_pin - v_top)
 
-    drop, corner, result = solve(mask)
-    if not np.isfinite(drop):
-        raise ReproError("initial pin set did not converge")
-    mask_input = mask.copy()
-    drop_input = drop
-
-    # Adjust the pin count toward the target, greedily by adjoint price.
-    while int(mask.sum()) != target:
-        prices = pin_prices(mask, corner, result)
-        g_top = 1.0 / stack.pillars.r_seg[top]
-        if int(mask.sum()) > target:
-            # Drop the pin whose removal costs least (|price| * g small).
-            pinned = np.flatnonzero(mask)
-            weakest = pinned[np.argmin(np.abs(prices[pinned]) * g_top[pinned])]
-            mask[weakest] = False
-        else:
-            unpinned = np.flatnonzero(~mask)
-            best = unpinned[np.argmin(prices[unpinned] * g_top[unpinned])]
-            mask[best] = True
-        drop, corner, result = solve(mask)
+    try:
+        drop, corner, voltages = solve(mask)
         if not np.isfinite(drop):
-            raise ReproError(
-                f"pin set of {int(mask.sum())} pins did not converge while "
-                f"retargeting toward {target}"
-            )
+            raise ReproError("initial pin set did not converge")
+        mask_input = mask.copy()
+        drop_input = drop
 
-    mask_initial = mask.copy()
-    drop_initial = drop
-    swaps: list[dict] = []
-
-    rounds = 0
-    for rounds in range(1, config.max_rounds + 1):
-        pinned = np.flatnonzero(mask)
-        unpinned = np.flatnonzero(~mask)
-        if pinned.size <= 1 or unpinned.size == 0:
-            break
-        prices = pin_prices(mask, corner, result)
-        g_top = 1.0 / stack.pillars.r_seg[top]
-        # Cheapest pins first (low marginal value of keeping), most
-        # valuable candidates first (most negative price of adding).
-        drop_order = pinned[np.argsort(np.abs(prices[pinned]) * g_top[pinned])]
-        add_order = unpinned[np.argsort(prices[unpinned] * g_top[unpinned])]
-        k = min(config.candidates, drop_order.size, add_order.size)
-
-        improved = False
-        for out_pin, in_pin in zip(drop_order[:k], add_order[:k]):
-            trial = mask.copy()
-            trial[out_pin] = False
-            trial[in_pin] = True
-            t_drop, t_corner, t_result = solve(trial)
-            if t_drop < drop:
-                swaps.append(
-                    {
-                        "round": rounds,
-                        "removed": int(out_pin),
-                        "added": int(in_pin),
-                        "worst_drop_v": t_drop,
-                    }
+        # Adjust the pin count toward the target, greedily by adjoint
+        # price.
+        while int(mask.sum()) != target:
+            prices = pin_prices(mask, corner, voltages)
+            g_top = 1.0 / stack.pillars.r_seg[top]
+            if int(mask.sum()) > target:
+                # Drop the pin whose removal costs least (|price| * g
+                # small).
+                pinned = np.flatnonzero(mask)
+                weakest = pinned[
+                    np.argmin(np.abs(prices[pinned]) * g_top[pinned])
+                ]
+                mask[weakest] = False
+            else:
+                unpinned = np.flatnonzero(~mask)
+                best = unpinned[np.argmin(prices[unpinned] * g_top[unpinned])]
+                mask[best] = True
+            drop, corner, voltages = solve(mask)
+            if not np.isfinite(drop):
+                raise ReproError(
+                    f"pin set of {int(mask.sum())} pins did not converge "
+                    f"while retargeting toward {target}"
                 )
-                mask, drop = trial, t_drop
-                corner, result = t_corner, t_result
-                improved = True
+
+        mask_initial = mask.copy()
+        drop_initial = drop
+        swaps: list[dict] = []
+
+        rounds = 0
+        for rounds in range(1, config.max_rounds + 1):
+            pinned = np.flatnonzero(mask)
+            unpinned = np.flatnonzero(~mask)
+            if pinned.size <= 1 or unpinned.size == 0:
                 break
-        if not improved:
-            break
+            prices = pin_prices(mask, corner, voltages)
+            g_top = 1.0 / stack.pillars.r_seg[top]
+            # Cheapest pins first (low marginal value of keeping), most
+            # valuable candidates first (most negative price of adding).
+            drop_order = pinned[
+                np.argsort(np.abs(prices[pinned]) * g_top[pinned])
+            ]
+            add_order = unpinned[np.argsort(prices[unpinned] * g_top[unpinned])]
+            k = min(config.candidates, drop_order.size, add_order.size)
+
+            # All k swap proposals solve as one incremental batch; the
+            # best truly-improving proposal wins the round.
+            proposals = list(zip(drop_order[:k], add_order[:k]))
+            trials = []
+            for out_pin, in_pin in proposals:
+                trial = mask.copy()
+                trial[out_pin] = False
+                trial[in_pin] = True
+                trials.append(trial)
+            result = evaluate_masks(trials)
+            trial_converged = result.candidate_converged()
+            trial_drops = result.worst_ir_drop()  # (k, S)
+            best_t = None
+            best_drop = drop
+            for t in range(len(proposals)):
+                if not trial_converged[t]:
+                    continue
+                t_drop = float(trial_drops[t].max())
+                if t_drop < best_drop:
+                    best_t, best_drop = t, t_drop
+            if best_t is None:
+                break
+            out_pin, in_pin = proposals[best_t]
+            corner = int(np.argmax(trial_drops[best_t]))
+            mask, drop = trials[best_t], best_drop
+            voltages = result.candidate_voltages(best_t, corner)
+            swaps.append(
+                {
+                    "round": rounds,
+                    "removed": int(out_pin),
+                    "added": int(in_pin),
+                    "worst_drop_v": drop,
+                }
+            )
+    finally:
+        session.close()
 
     return PlacementResult(
         has_pin_input=mask_input,

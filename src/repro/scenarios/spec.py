@@ -234,6 +234,16 @@ class Scenario:
                 f"scenario {self.name!r}: stimulus must be a StimulusSpec"
             )
 
+    @classmethod
+    def nominal(cls, name: str = "nominal") -> "Scenario":
+        """The identity operating point: every scale at 1, no stimulus.
+
+        The canonical single-scenario batch -- ECO sessions and the
+        placement optimizer evaluate against it when the caller supplies
+        no scenario set of their own.
+        """
+        return cls(name=name)
+
     @staticmethod
     def _broadcast_tiers(
         value, n_tiers: int, name: str, what: str

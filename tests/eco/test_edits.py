@@ -1,0 +1,326 @@
+"""Edit algebra: compiled low-rank blocks vs the ``apply()`` reference.
+
+The central oracle: for every edit with a plane-matrix effect, the
+compiled per-tier perturbation ``W diag(d) W^T`` must equal the *exact*
+matrix difference between the edited and base plane systems -- same for
+the RHS deltas and the propagation-phase tables.  The two paths
+(compile for the incremental engine, ``apply`` for direct re-solve) are
+developed independently on purpose; these tests are what keeps them
+from drifting apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tsv import plane_matrices
+from repro.eco.edits import (
+    DecapEdit,
+    EcoCandidate,
+    LoadEdit,
+    PadMoveEdit,
+    PinMaskEdit,
+    PinMoveEdit,
+    StrapEdit,
+    TsvResizeEdit,
+    WireWidthEdit,
+    compile_candidate,
+    dump_candidates,
+    edit_from_dict,
+    load_candidates,
+)
+from repro.errors import GridError, ReproError
+
+
+def compiled_delta(comp, tier: int, n: int) -> np.ndarray:
+    """Dense ``W diag(d) W^T`` of one tier (zeros when untouched)."""
+    update = comp.tier_updates.get(tier)
+    if update is None:
+        return np.zeros((n, n))
+    w, d = update
+    dense = w.toarray()
+    return (dense * d) @ dense.T
+
+
+def matrix_delta(stack, edited, tier: int) -> np.ndarray:
+    base = plane_matrices(stack)[tier][0]
+    new = plane_matrices(edited)[tier][0]
+    return (new - base).toarray()
+
+
+def rhs_delta(stack, edited, tier: int) -> np.ndarray:
+    return plane_matrices(edited)[tier][1] - plane_matrices(stack)[tier][1]
+
+
+class TestPlaneMatrixOracle:
+    """Compiled perturbation == exact matrix difference, per tier."""
+
+    def test_strap_span(self, small_stack):
+        cand = EcoCandidate(
+            "strap", (StrapEdit(1, "h", 3, 1.5, span=(2, 5)),)
+        )
+        comp = compile_candidate(small_stack, cand)
+        edited = cand.apply(small_stack)
+        n = small_stack.rows * small_stack.cols
+        for tier in range(small_stack.n_tiers):
+            assert np.allclose(
+                compiled_delta(comp, tier, n),
+                matrix_delta(small_stack, edited, tier),
+                atol=1e-14,
+            )
+        assert comp.rank == 3  # one column per spanned segment
+
+    def test_strap_full_length_vertical(self, small_stack):
+        cand = EcoCandidate("strap", (StrapEdit(2, "v", 5, 0.8),))
+        comp = compile_candidate(small_stack, cand)
+        edited = cand.apply(small_stack)
+        n = small_stack.rows * small_stack.cols
+        assert np.allclose(
+            compiled_delta(comp, 2, n),
+            matrix_delta(small_stack, edited, 2),
+            atol=1e-14,
+        )
+        assert comp.rank == small_stack.rows - 1
+
+    def test_width_scale(self, small_stack):
+        edges = (("h", 2, 2), ("v", 3, 3), ("h", 4, 1))
+        cand = EcoCandidate("width", (WireWidthEdit(0, edges, 2.5),))
+        comp = compile_candidate(small_stack, cand)
+        edited = cand.apply(small_stack)
+        n = small_stack.rows * small_stack.cols
+        assert np.allclose(
+            compiled_delta(comp, 0, n),
+            matrix_delta(small_stack, edited, 0),
+            atol=1e-14,
+        )
+
+    def test_pad_move_matrix_and_rhs(self, small_stack):
+        small_stack.tiers[0].g_pad[2, 3] = 0.8  # synthesized: no pads
+        cand = EcoCandidate("pad", (PadMoveEdit(0, (2, 3), (5, 6)),))
+        comp = compile_candidate(small_stack, cand)
+        edited = cand.apply(small_stack)
+        n = small_stack.rows * small_stack.cols
+        assert np.allclose(
+            compiled_delta(comp, 0, n),
+            matrix_delta(small_stack, edited, 0),
+            atol=1e-14,
+        )
+        assert np.allclose(
+            comp.pad_rhs_delta[0],
+            rhs_delta(small_stack, edited, 0),
+            atol=1e-14,
+        )
+        assert comp.rank == 2  # two diagonal entries: -g at src, +g at dst
+
+    def test_degree_delta_is_the_diagonal_of_the_perturbation(
+        self, small_stack
+    ):
+        cand = EcoCandidate(
+            "mix",
+            (
+                StrapEdit(0, "h", 1, 2.0, span=(0, 3)),
+                WireWidthEdit(0, (("v", 1, 1),), 0.5),
+            ),
+        )
+        comp = compile_candidate(small_stack, cand)
+        n = small_stack.rows * small_stack.cols
+        assert np.allclose(
+            comp.degree_delta(0, n),
+            np.diag(compiled_delta(comp, 0, n)),
+            atol=1e-14,
+        )
+        assert comp.degree_delta(1, n) is None
+
+    def test_overlapping_edits_merge_additively(self, small_stack):
+        cand = EcoCandidate(
+            "overlap",
+            (
+                StrapEdit(0, "h", 2, 1.0, span=(1, 3)),
+                StrapEdit(0, "h", 2, 0.5, span=(2, 4)),  # shares a segment
+            ),
+        )
+        comp = compile_candidate(small_stack, cand)
+        edited = cand.apply(small_stack)
+        n = small_stack.rows * small_stack.cols
+        assert np.allclose(
+            compiled_delta(comp, 0, n),
+            matrix_delta(small_stack, edited, 0),
+            atol=1e-14,
+        )
+        assert comp.rank == 4  # columns concatenate, SMW handles overlap
+
+
+class TestPropagationPhaseEdits:
+    """Rank-0 edits: plane matrices untouched, tables replaced."""
+
+    def test_tsv_resize(self, small_stack):
+        cand = EcoCandidate("tsv", (TsvResizeEdit((1, 3), 0.5),))
+        comp = compile_candidate(small_stack, cand)
+        edited = cand.apply(small_stack)
+        assert not comp.tier_updates and comp.rank == 0
+        assert np.array_equal(comp.r_seg, edited.pillars.r_seg)
+        assert np.allclose(
+            comp.r_seg[:, [1, 3]],
+            small_stack.pillars.r_seg[:, [1, 3]] * 0.5,
+        )
+
+    def test_tsv_resize_single_tier(self, small_stack):
+        cand = EcoCandidate("tsv", (TsvResizeEdit((2,), 4.0, tiers=(1,)),))
+        comp = compile_candidate(small_stack, cand)
+        expected = small_stack.pillars.r_seg.copy()
+        expected[1, 2] *= 4.0
+        assert np.array_equal(comp.r_seg, expected)
+
+    def test_pin_move(self, pinsubset_stack):
+        mask = pinsubset_stack.pillars.has_pin
+        src = int(np.flatnonzero(mask)[0])
+        dst = int(np.flatnonzero(~mask)[0])
+        cand = EcoCandidate("pin", (PinMoveEdit(src, dst),))
+        comp = compile_candidate(pinsubset_stack, cand)
+        edited = cand.apply(pinsubset_stack)
+        assert comp.rank == 0
+        assert np.array_equal(comp.has_pin, edited.pillars.has_pin)
+        assert not comp.has_pin[src] and comp.has_pin[dst]
+        assert comp.has_pin.sum() == mask.sum()
+
+    def test_pin_mask_replaces_the_whole_map(self, pinsubset_stack):
+        mask = ~pinsubset_stack.pillars.has_pin
+        cand = EcoCandidate("mask", (PinMaskEdit(tuple(bool(b) for b in mask)),))
+        comp = compile_candidate(pinsubset_stack, cand)
+        assert np.array_equal(comp.has_pin, mask)
+        assert np.array_equal(cand.apply(pinsubset_stack).pillars.has_pin, mask)
+
+    def test_load_edit_moves_only_the_loads(self, small_stack):
+        cand = EcoCandidate("load", (LoadEdit(1, (4, 4), 2e-3),))
+        comp = compile_candidate(small_stack, cand)
+        edited = cand.apply(small_stack)
+        assert comp.rank == 0
+        diff = (edited.tiers[1].loads - small_stack.tiers[1].loads).ravel()
+        assert np.array_equal(comp.loads_delta[1], diff)
+        assert np.allclose(comp.tier_load_deltas(small_stack.n_tiers), [0, 2e-3, 0])
+
+    def test_decap_is_dc_invariant(self, small_stack):
+        cand = EcoCandidate(
+            "decap", (DecapEdit(0, 2.0), DecapEdit(0, 1.5))
+        )
+        comp = compile_candidate(small_stack, cand)
+        assert comp.rank == 0
+        assert comp.cap_scale == {0: 3.0}  # scales compose multiplicatively
+        edited = cand.apply(small_stack)
+        for tier in range(small_stack.n_tiers):
+            assert np.allclose(
+                matrix_delta(small_stack, edited, tier), 0.0
+            )
+
+
+class TestValidation:
+    def test_strap_span_out_of_range(self, small_stack):
+        with pytest.raises(GridError):
+            compile_candidate(
+                small_stack,
+                EcoCandidate("s", (StrapEdit(0, "h", 1, 1.0, span=(5, 3)),)),
+            )
+
+    def test_strap_removal_cannot_go_negative(self, small_stack):
+        with pytest.raises(GridError, match="negative"):
+            compile_candidate(
+                small_stack,
+                EcoCandidate("s", (StrapEdit(0, "h", 1, -1e6),)),
+            )
+
+    def test_strap_bad_tier(self, small_stack):
+        with pytest.raises(GridError, match="tier"):
+            compile_candidate(
+                small_stack,
+                EcoCandidate("s", (StrapEdit(9, "h", 1, 1.0),)),
+            )
+
+    def test_width_scale_one_is_a_noop(self, small_stack):
+        with pytest.raises(GridError, match="no-op"):
+            compile_candidate(
+                small_stack,
+                EcoCandidate("w", (WireWidthEdit(0, (("h", 0, 0),), 1.0),)),
+            )
+
+    def test_pad_move_needs_a_pad(self, small_stack):
+        with pytest.raises(GridError, match="no pad"):
+            compile_candidate(
+                small_stack,
+                EcoCandidate("p", (PadMoveEdit(0, (0, 0), (1, 1)),)),
+            )
+
+    def test_pin_move_src_must_carry_a_pin(self, pinsubset_stack):
+        dst = int(np.flatnonzero(~pinsubset_stack.pillars.has_pin)[0])
+        src = int(np.flatnonzero(~pinsubset_stack.pillars.has_pin)[1])
+        with pytest.raises(GridError, match="no pin"):
+            compile_candidate(
+                pinsubset_stack,
+                EcoCandidate("p", (PinMoveEdit(src, dst),)),
+            )
+
+    def test_load_delta_must_be_nonzero(self, small_stack):
+        with pytest.raises(GridError, match="nonzero"):
+            compile_candidate(
+                small_stack,
+                EcoCandidate("l", (LoadEdit(0, (1, 1), 0.0),)),
+            )
+
+    def test_candidate_needs_edits_and_a_name(self):
+        with pytest.raises(ReproError):
+            EcoCandidate("empty", ())
+        with pytest.raises(ReproError):
+            EcoCandidate("", (DecapEdit(0, 2.0),))
+
+
+class TestSerialization:
+    def candidates(self, pinsubset_stack):
+        mask = pinsubset_stack.pillars.has_pin
+        src = int(np.flatnonzero(mask)[0])
+        dst = int(np.flatnonzero(~mask)[0])
+        return [
+            EcoCandidate(
+                "a",
+                (
+                    StrapEdit(0, "h", 2, 1.5, span=(1, 4)),
+                    WireWidthEdit(1, (("h", 0, 0), ("v", 2, 2)), 2.0),
+                ),
+            ),
+            EcoCandidate(
+                "b",
+                (
+                    TsvResizeEdit((0, 2), 0.5, tiers=(1, 2)),
+                    PadMoveEdit(0, (2, 3), (4, 4)),
+                    PinMoveEdit(src, dst),
+                    LoadEdit(2, (3, 3), -5e-4),
+                    DecapEdit(1, 2.0),
+                ),
+            ),
+        ]
+
+    def test_round_trip(self, tmp_path, pinsubset_stack):
+        path = tmp_path / "candidates.json"
+        original = self.candidates(pinsubset_stack)
+        dump_candidates(path, original)
+        loaded = load_candidates(path)
+        assert loaded == original  # frozen dataclasses: structural equality
+
+    def test_edit_from_dict_rejects_unknown_type(self):
+        with pytest.raises(ReproError, match="unknown edit type"):
+            edit_from_dict({"type": "teleport", "tier": 0})
+
+    def test_edit_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ReproError, match="unknown field"):
+            edit_from_dict({"type": "decap", "tier": 0, "scale": 2.0, "q": 1})
+
+    def test_load_candidates_rejects_malformed_files(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="cannot read"):
+            load_candidates(path)
+        path.write_text('{"candidates": []}')
+        with pytest.raises(ReproError, match="non-empty"):
+            load_candidates(path)
+        path.write_text('{"candidates": [{"name": "x", "edits": []}]}')
+        with pytest.raises(ReproError, match="non-empty"):
+            load_candidates(path)

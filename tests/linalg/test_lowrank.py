@@ -1,0 +1,183 @@
+"""SMW :class:`LowRankUpdate` against dense ``(A + U C V^T)`` oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import SingularSystemError
+from repro.linalg.lowrank import LowRankUpdate
+
+N = 24
+RTOL = 1e-10
+
+
+@pytest.fixture
+def spd(rng):
+    a = rng.normal(size=(N, N))
+    a = a @ a.T + N * np.eye(N)
+    return a
+
+
+def base_solver(a):
+    return lambda b: np.linalg.solve(a, b)
+
+
+class TestSolveOracle:
+    def test_diagonal_core_symmetric_update(self, rng, spd):
+        u = rng.normal(size=(N, 3))
+        d = np.array([2.0, -0.5, 1.25])
+        update = LowRankUpdate(base_solver(spd), u, d)
+        edited = spd + (u * d) @ u.T
+        b = rng.normal(size=N)
+        assert np.allclose(
+            update.solve(b), np.linalg.solve(edited, b), rtol=RTOL
+        )
+
+    def test_multi_column_rhs(self, rng, spd):
+        u = rng.normal(size=(N, 2))
+        d = np.array([1.5, 3.0])
+        update = LowRankUpdate(base_solver(spd), u, d)
+        edited = spd + (u * d) @ u.T
+        b = rng.normal(size=(N, 5))
+        assert np.allclose(
+            update.solve(b), np.linalg.solve(edited, b), rtol=RTOL
+        )
+
+    def test_sparse_columns(self, rng, spd):
+        # The engine's case: each column is e_u - e_v for one edited wire.
+        cols = sp.csc_matrix(
+            (
+                [1.0, -1.0, 1.0, -1.0],
+                ([2, 7, 11, 3], [0, 0, 1, 1]),
+            ),
+            shape=(N, 2),
+        )
+        d = np.array([4.0, 0.25])
+        update = LowRankUpdate(base_solver(spd), cols, d)
+        edited = spd + (cols.toarray() * d) @ cols.toarray().T
+        b = rng.normal(size=N)
+        assert np.allclose(
+            update.solve(b), np.linalg.solve(edited, b), rtol=RTOL
+        )
+
+    def test_full_core_and_distinct_v(self, rng):
+        a = rng.normal(size=(N, N)) + N * np.eye(N)  # nonsymmetric
+        u = rng.normal(size=(N, 3))
+        v = rng.normal(size=(N, 3))
+        c = rng.normal(size=(3, 3)) + 3 * np.eye(3)
+        update = LowRankUpdate(
+            base_solver(a),
+            u,
+            c,
+            v,
+            base_solve_transpose=base_solver(a.T),
+        )
+        edited = a + u @ c @ v.T
+        b = rng.normal(size=N)
+        assert np.allclose(
+            update.solve(b), np.linalg.solve(edited, b), rtol=RTOL
+        )
+
+    def test_correct_equals_solve_after_base_solve(self, rng, spd):
+        u = rng.normal(size=(N, 2))
+        d = np.array([1.0, 2.0])
+        update = LowRankUpdate(base_solver(spd), u, d)
+        b = rng.normal(size=N)
+        y = np.linalg.solve(spd, b)
+        assert np.allclose(update.correct(y), update.solve(b), rtol=RTOL)
+
+    def test_precomputed_z_and_dropped_z_agree(self, rng, spd):
+        u = rng.normal(size=(N, 3))
+        d = np.array([0.5, 2.0, -1.0])
+        solve = base_solver(spd)
+        resident = LowRankUpdate(solve, u, d)
+        batched = LowRankUpdate(solve, u, d, z=solve(u), keep_z=False)
+        assert batched.z is None
+        assert batched.memory_bytes < resident.memory_bytes
+        b = rng.normal(size=(N, 4))
+        assert np.allclose(resident.solve(b), batched.solve(b), rtol=RTOL)
+
+
+class TestTransposeSolve:
+    def test_matches_dense_transpose_oracle(self, rng):
+        a = rng.normal(size=(N, N)) + N * np.eye(N)
+        u = rng.normal(size=(N, 2))
+        v = rng.normal(size=(N, 2))
+        c = np.array([1.5, -0.75])
+        update = LowRankUpdate(
+            base_solver(a),
+            u,
+            c,
+            v,
+            base_solve_transpose=base_solver(a.T),
+        )
+        edited = a + (u * c) @ v.T
+        b = rng.normal(size=(N, 3))
+        assert np.allclose(
+            update.solve_transpose(b),
+            np.linalg.solve(edited.T, b),
+            rtol=RTOL,
+        )
+
+    def test_adjoint_identity_against_forward(self, rng, spd):
+        # <A_e^{-1} x, y> == <x, A_e^{-T} y> for any x, y.
+        u = rng.normal(size=(N, 2))
+        d = np.array([2.0, 0.5])
+        update = LowRankUpdate(base_solver(spd), u, d)
+        x, y = rng.normal(size=N), rng.normal(size=N)
+        assert np.isclose(
+            update.solve(x) @ y, x @ update.solve_transpose(y), rtol=RTOL
+        )
+
+
+class TestRankZero:
+    def test_falls_through_to_the_base_solve(self, rng, spd):
+        update = LowRankUpdate(
+            base_solver(spd), np.zeros((N, 0)), np.zeros(0)
+        )
+        b = rng.normal(size=N)
+        assert update.rank == 0
+        assert np.allclose(update.solve(b), np.linalg.solve(spd, b))
+        assert np.allclose(
+            update.solve_transpose(b), np.linalg.solve(spd.T, b)
+        )
+
+    def test_capacitance_solve_raises(self, spd):
+        update = LowRankUpdate(
+            base_solver(spd), np.zeros((N, 0)), np.zeros(0)
+        )
+        with pytest.raises(SingularSystemError):
+            update.capacitance_solve(np.zeros(0))
+
+
+class TestSingularity:
+    def test_zero_diagonal_weight(self, rng, spd):
+        u = rng.normal(size=(N, 2))
+        with pytest.raises(SingularSystemError, match="zero weights"):
+            LowRankUpdate(base_solver(spd), u, np.array([1.0, 0.0]))
+
+    def test_core_shape_mismatch(self, rng, spd):
+        u = rng.normal(size=(N, 2))
+        with pytest.raises(SingularSystemError):
+            LowRankUpdate(base_solver(spd), u, np.ones(3))
+
+    def test_uv_shape_mismatch(self, rng, spd):
+        with pytest.raises(SingularSystemError):
+            LowRankUpdate(
+                base_solver(spd),
+                rng.normal(size=(N, 2)),
+                np.ones(2),
+                rng.normal(size=(N, 3)),
+            )
+
+    @pytest.mark.filterwarnings("ignore::scipy.linalg.LinAlgWarning")
+    def test_singular_capacitance_matrix(self):
+        # A = I, u = e_0, c = -1: the update cancels the (0, 0) entry
+        # exactly (a disconnecting edit) -> S = 1/c + u^T u = 0.
+        a = np.eye(N)
+        u = np.zeros((N, 1))
+        u[0, 0] = 1.0
+        with pytest.raises(SingularSystemError, match="capacitance"):
+            LowRankUpdate(base_solver(a), u, np.array([-1.0]))

@@ -1,0 +1,67 @@
+"""``repro profile eco``: span structure of an incremental ECO run.
+
+The trace must show exactly one base ``factorize`` span (the pinned
+session factors -- the zero-refactorization contract made visible) and
+one ``eco.candidate`` span per evaluated candidate, with the eco
+counters in the exported metrics.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+N_CANDIDATES = 4
+
+
+def run_profiled_eco(tmp_path, capsys, *extra):
+    trace_path = tmp_path / "eco.trace.json"
+    rc = main(
+        [
+            "profile", "--trace", str(trace_path),
+            "eco",
+            "--side", "10", "--tiers", "3",
+            "--sweep", "strap", "--candidates", str(N_CANDIDATES),
+            *extra,
+        ]
+    )
+    assert rc == 0
+    return json.loads(trace_path.read_text()), capsys.readouterr().out
+
+
+class TestProfileEco:
+    def test_one_factorize_span_per_session(self, tmp_path, capsys):
+        doc, _ = run_profiled_eco(tmp_path, capsys)
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "B"]
+        factorizes = [e for e in begins if e["name"] == "factorize"]
+        # A uniform synthesized stack shares one plane group across all
+        # tiers: the pinned session factorizes exactly once.
+        assert len(factorizes) == 1
+
+    def test_one_candidate_span_per_candidate(self, tmp_path, capsys):
+        doc, _ = run_profiled_eco(tmp_path, capsys)
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "B"]
+        spans = [e for e in begins if e["name"] == "eco.candidate"]
+        assert len(spans) == N_CANDIDATES
+        assert all(e["args"]["rank"] > 0 for e in spans)
+
+    def test_counters_exported_and_printed(self, tmp_path, capsys):
+        doc, out = run_profiled_eco(tmp_path, capsys)
+        counters = doc["metrics"]["counters"]
+        assert counters["eco.candidates"] == N_CANDIDATES
+        assert counters["eco.column_solves"] > 0
+        assert counters["eco.outer_iterations"] > 0
+        assert "eco.candidates" in out
+
+    def test_verification_shows_up_as_extra_factorizations(
+        self, tmp_path, capsys
+    ):
+        doc, _ = run_profiled_eco(tmp_path, capsys, "--verify", "1.0")
+        counters = doc["metrics"]["counters"]
+        assert counters["eco.verifications"] == N_CANDIDATES
+        # Direct re-solves legitimately factorize: a strap on tier 0
+        # splits it out of the shared plane group, so each edited stack
+        # pays two LUs (edited tier + remaining group) on top of the
+        # session's single base factorization.
+        assert counters["planes.factorizations"] == 1 + 2 * N_CANDIDATES

@@ -349,3 +349,73 @@ class TestTransientSweep:
             "--step-corners", "1.0", "--pulse-duties", "0.5",
         ) == 2
         assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestEco:
+    def test_strap_sweep_ranks_and_writes_reports(self, tmp_path, capsys):
+        import json
+
+        csv_path = tmp_path / "eco.csv"
+        json_path = tmp_path / "eco.json"
+        assert run_cli(
+            "eco", "--side", "10",
+            "--sweep", "strap", "--candidates", "4",
+            "--csv", str(csv_path), "--json", str(json_path),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4 candidate(s)" in out
+        assert "0 new factorization(s)" in out
+        payload = json.loads(json_path.read_text())
+        assert len(payload["candidates"]) == 4
+        assert payload["eval_factorizations"] == 0
+        assert csv_path.read_text().count("\n") == 5  # header + 4 rows
+
+    def test_candidate_file_input(self, tmp_path, capsys):
+        import json
+
+        edits = tmp_path / "candidates.json"
+        edits.write_text(json.dumps({
+            "candidates": [
+                {"name": "widen", "edits": [
+                    {"type": "strap", "tier": 0, "orientation": "h",
+                     "index": 2, "g_strap": 1.5, "span": [1, 4]},
+                ]},
+                {"name": "via", "edits": [
+                    {"type": "tsv", "pillars": [0, 1], "scale": 0.5},
+                ]},
+            ]
+        }))
+        assert run_cli(
+            "eco", "--side", "10", "--edits", str(edits), "--verify", "1.0",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "widen" in out and "via" in out
+        assert "verified 2/2" in out
+
+    def test_compare_refactorize_reports_both_speedups(self, capsys):
+        assert run_cli(
+            "eco", "--side", "10", "--candidates", "3",
+            "--compare-refactorize",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "re-factorization baseline" in out
+        assert "end-to-end" in out
+        assert "factorization pipeline" in out
+
+    def test_cache_entries_must_hold_one(self, capsys):
+        assert run_cli(
+            "eco", "--side", "10", "--candidates", "2",
+            "--cache-entries", "1",
+        ) == 0
+
+    def test_unknown_edit_type_exits_2(self, tmp_path, capsys):
+        import json
+
+        edits = tmp_path / "bad.json"
+        edits.write_text(json.dumps({
+            "candidates": [
+                {"name": "x", "edits": [{"type": "teleport"}]}
+            ]
+        }))
+        assert run_cli("eco", "--side", "10", "--edits", str(edits)) == 2
+        assert "unknown edit type" in capsys.readouterr().err
