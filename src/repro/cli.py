@@ -18,6 +18,10 @@ Subcommands (all offline, deterministic with ``--seed``):
 * ``repro eco`` -- incremental ECO re-analysis: rank what-if edit
   candidates (straps, wire widths, TSVs, pins) via Sherman-Morrison-
   Woodbury updates on the cached plane factors, zero re-factorizations;
+* ``repro serve`` -- long-running grid-analysis service: clients register
+  named grids and submit sweep/mc/sensitivity/optimize/eco jobs over an
+  HTTP JSON API; all jobs share one concurrency-safe factor cache and
+  compatible sweep jobs coalesce into merged multi-RHS solves;
 * ``repro sweep-tsv`` -- experiment E6 (GS degradation vs TSV resistance);
 * ``repro rw-trap`` -- experiment E7 (random-walk trap);
 * ``repro transient`` -- experiment E14 (RC transient droop); with
@@ -700,6 +704,21 @@ def cmd_transient(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import GridAnalysisService, ServiceConfig, serve_http
+
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        batch_window=args.batch_window,
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_bytes,
+        default_timeout=args.job_timeout,
+    )
+    serve_http(GridAnalysisService(config), host=args.host, port=args.port)
+    return 0
+
+
 def cmd_phases(args: argparse.Namespace) -> int:
     stack = _build_stack(args)
     breakdown = phase_breakdown(stack)
@@ -719,17 +738,21 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if workload[0] == "profile":
         raise ReproError("cannot nest 'repro profile'")
     inner = build_parser().parse_args(workload)
-    with obs.session(trace=True, series=not args.no_series) as tel:
-        rc = inner.func(inner)
-    print()
-    if args.trace:
-        obs.write_chrome_trace(
-            args.trace, tel.tracer.events, tel.registry.snapshot()
-        )
-        print(f"profile: trace written to {args.trace}")
-    if args.trace_csv:
-        obs.write_csv_trace(args.trace_csv, tel.tracer.events)
-        print(f"profile: span CSV written to {args.trace_csv}")
+    try:
+        with obs.session(trace=True, series=not args.no_series) as tel:
+            rc = inner.func(inner)
+    finally:
+        # Same contract as --profile: a failing workload still flushes
+        # whatever spans it recorded before the error surfaces.
+        print()
+        if args.trace:
+            obs.write_chrome_trace(
+                args.trace, tel.tracer.events, tel.registry.snapshot()
+            )
+            print(f"profile: trace written to {args.trace}")
+        if args.trace_csv:
+            obs.write_csv_trace(args.trace_csv, tel.tracer.events)
+            print(f"profile: span CSV written to {args.trace_csv}")
     print(obs.render_profile(tel))
     return rc
 
@@ -1071,6 +1094,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_argument(p)
     p.set_defaults(func=cmd_transient)
 
+    p = sub.add_parser(
+        "serve",
+        help="long-running grid-analysis service over one shared factor "
+        "cache (HTTP JSON API)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (0 picks an ephemeral port, printed on startup)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4, help="solver worker threads"
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="max jobs in flight before submissions get HTTP 429",
+    )
+    p.add_argument(
+        "--batch-window", type=float, default=0.025,
+        help="request-coalescing window (s); compatible sweep jobs "
+        "arriving within it merge into one multi-RHS solve (0 disables)",
+    )
+    p.add_argument(
+        "--cache-entries", type=int, default=8,
+        help="shared factor-cache capacity (plane systems)",
+    )
+    p.add_argument(
+        "--cache-bytes", type=int, default=None,
+        help="optional byte bound on cached factors (evicts LRU past it)",
+    )
+    p.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="default per-job execution timeout (s)",
+    )
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("phases", help="E10: VP phase breakdown")
     _add_stack_arguments(p)
     p.set_defaults(func=cmd_phases)
@@ -1115,12 +1174,16 @@ def main(argv: list[str] | None = None) -> int:
         if profile_path:
             # The session wraps the whole command so setup-time spans
             # (plane factorizations) land in the trace too.
-            with obs.session(trace=True, series=True) as tel:
-                rc = args.func(args)
-            obs.write_chrome_trace(
-                profile_path, tel.tracer.events, tel.registry.snapshot()
-            )
-            print(f"\nprofile: trace written to {profile_path}")
+            try:
+                with obs.session(trace=True, series=True) as tel:
+                    rc = args.func(args)
+            finally:
+                # A failing command is exactly the run a trace is wanted
+                # for: flush the partial trace before the error surfaces.
+                obs.write_chrome_trace(
+                    profile_path, tel.tracer.events, tel.registry.snapshot()
+                )
+                print(f"\nprofile: trace written to {profile_path}")
             print(obs.render_profile(tel))
             return rc
         return args.func(args)

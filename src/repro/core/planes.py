@@ -21,6 +21,7 @@ this module owns the partitioned structure so they share one code path:
 from __future__ import annotations
 
 import hashlib
+import threading
 
 import numpy as np
 import scipy.sparse as sp
@@ -421,8 +422,27 @@ class PlaneFactorCache:
     The counters are read-through properties over local instruments,
     mirrored into the active :mod:`repro.obs` registry as
     ``cache.factorizations`` / ``cache.hits`` / ``cache.misses`` /
-    ``cache.evictions``; the resident factor footprint is published as
-    the ``cache.factor_bytes`` gauge.
+    ``cache.evictions`` / ``cache.pinned_overflow`` /
+    ``cache.single_flight_waits``; the resident factor footprint is
+    published as the ``cache.factor_bytes`` gauge.
+
+    **Concurrency.**  The cache is thread-safe: lookup, insertion,
+    eviction, and pin bookkeeping run under one lock, and factorization
+    is *single-flight* -- when N threads miss on the same signature at
+    once, exactly one builds the system (outside the lock, so unrelated
+    geometries factorize in parallel) while the others block on a
+    per-key event and then pick the shared entry up as a hit (counted
+    in ``single_flight_waits``).  This is what lets a long-running
+    service promote one cache to a cross-request shared resource: N
+    concurrent requests for a popular grid pay exactly one LU.
+
+    **Capacity.**  ``max_entries`` bounds the entry count and the
+    optional ``max_bytes`` bounds the resident factor footprint; LRU
+    eviction skips pinned entries.  When every evictable candidate is
+    pinned the cache *does* exceed its bounds (callers need their
+    systems regardless) but counts the event in ``pinned_overflow``
+    instead of growing silently, and :meth:`unpin` re-runs the deferred
+    eviction so an over-capacity cache shrinks as soon as pins release.
 
     Cached systems are built with ``pillar_rows=True`` (the batched
     engine needs the pillar rows).  NOTE: a cached system's *base*
@@ -432,16 +452,28 @@ class PlaneFactorCache:
     always does).
     """
 
-    def __init__(self, max_entries: int = 8):
+    def __init__(self, max_entries: int = 8, *, max_bytes: int | None = None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None)")
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.RLock()
         self._entries: dict[bytes, ReducedPlaneSystem] = {}
+        #: Footprint recorded at insert time -- eviction bookkeeping must
+        #: subtract exactly what was added, even under concurrent churn.
+        self._entry_bytes: dict[bytes, int] = {}
         self._pinned: set[bytes] = set()
+        #: In-flight factorizations: key -> event the builder sets once
+        #: the entry is resident (or the build failed).
+        self._building: dict[bytes, threading.Event] = {}
         self._factorizations = Counter("cache.factorizations")
         self._hits = Counter("cache.hits")
         self._misses = Counter("cache.misses")
         self._evictions = Counter("cache.evictions")
+        self._pinned_overflow = Counter("cache.pinned_overflow")
+        self._single_flight_waits = Counter("cache.single_flight_waits")
         self._factor_bytes = 0
 
     def __len__(self) -> int:
@@ -464,6 +496,18 @@ class PlaneFactorCache:
         return self._evictions.value
 
     @property
+    def pinned_overflow(self) -> int:
+        """Times the cache went (or stayed) over capacity because every
+        eviction candidate was pinned."""
+        return self._pinned_overflow.value
+
+    @property
+    def single_flight_waits(self) -> int:
+        """Lookups that blocked on another thread's in-flight
+        factorization of the same signature instead of building."""
+        return self._single_flight_waits.value
+
+    @property
     def factor_bytes(self) -> int:
         """Bytes held by currently resident cached systems."""
         return self._factor_bytes
@@ -474,42 +518,92 @@ class PlaneFactorCache:
         """Return the shared plane system for ``stack``'s geometry,
         factorizing (and counting) only on a signature miss.
 
+        Thread-safe and single-flight: concurrent misses on one
+        signature factorize once; the waiters count as hits (plus a
+        ``single_flight_waits`` tally).
+
         ``pin`` exempts the entry from LRU eviction -- callers that hold
         a long-lived handle (the Monte Carlo driver's baseline) pin it so
         a churn of one-off geometries cannot push it out between their
         explicit ``get`` calls.
         """
         key = stack_plane_signature(stack)
-        system = self._entries.pop(key, None)
-        if system is not None:
-            self._hits.add()
-            obs.add("cache.hits")
-            self._entries[key] = system  # refresh LRU position
+        while True:
+            with self._lock:
+                system = self._entries.pop(key, None)
+                if system is not None:
+                    self._hits.add()
+                    obs.add("cache.hits")
+                    self._entries[key] = system  # refresh LRU position
+                    if pin:
+                        self._pinned.add(key)
+                    return system
+                in_flight = self._building.get(key)
+                if in_flight is None:
+                    # This thread builds; peers landing on the same key
+                    # block on the event until the entry is resident.
+                    self._building[key] = threading.Event()
+                    self._misses.add()
+                    obs.add("cache.misses")
+                    break
+            self._single_flight_waits.add()
+            obs.add("cache.single_flight_waits")
+            in_flight.wait()
+            # Loop: normally a hit now; if the entry was already evicted
+            # (or the peer's build failed) this thread becomes the builder.
+        try:
+            system = ReducedPlaneSystem(
+                stack, factorize=True, pillar_rows=True
+            )
+        except BaseException:
+            with self._lock:
+                self._building.pop(key).set()  # release waiters to retry
+            raise
+        with self._lock:
+            self._factorizations.add(system.n_factorizations)
+            obs.add("cache.factorizations", system.n_factorizations)
+            nbytes = system.memory_bytes
+            self._entries[key] = system
+            self._entry_bytes[key] = nbytes
+            self._factor_bytes += nbytes
             if pin:
                 self._pinned.add(key)
-            return system
-        self._misses.add()
-        obs.add("cache.misses")
-        system = ReducedPlaneSystem(stack, factorize=True, pillar_rows=True)
-        self._factorizations.add(system.n_factorizations)
-        obs.add("cache.factorizations", system.n_factorizations)
-        if len(self._entries) >= self.max_entries:
-            # LRU eviction of the oldest unpinned entry: one-off
-            # geometries (fresh wire-field draws) churn the tail while
-            # pinned baselines stay resident.
-            for candidate in self._entries:
-                if candidate not in self._pinned:
-                    self._factor_bytes -= self._entries[candidate].memory_bytes
-                    del self._entries[candidate]
-                    self._evictions.add()
-                    obs.add("cache.evictions")
-                    break
-        self._entries[key] = system
-        self._factor_bytes += system.memory_bytes
-        obs.set_gauge("cache.factor_bytes", self._factor_bytes)
-        if pin:
-            self._pinned.add(key)
+            self._evict_over_capacity(protect=key)
+            obs.set_gauge("cache.factor_bytes", self._factor_bytes)
+            self._building.pop(key).set()
         return system
+
+    def _over_capacity(self) -> bool:
+        return len(self._entries) > self.max_entries or (
+            self.max_bytes is not None
+            and self._factor_bytes > self.max_bytes
+        )
+
+    def _evict_over_capacity(self, protect: bytes | None = None) -> None:
+        """LRU-evict unpinned entries until within bounds (caller holds
+        the lock).  ``protect`` shields the entry being inserted.  When
+        no candidate remains the overflow is counted, not hidden -- the
+        deferred eviction happens on the next :meth:`unpin`."""
+        while self._over_capacity():
+            victim = next(
+                (
+                    k
+                    for k in self._entries
+                    if k not in self._pinned and k != protect
+                ),
+                None,
+            )
+            if victim is None:
+                # Every evictable entry is pinned: one-off geometries
+                # (fresh wire-field draws) churning a fully-pinned cache
+                # used to grow it silently past max_entries.
+                self._pinned_overflow.add()
+                obs.add("cache.pinned_overflow")
+                break
+            self._factor_bytes -= self._entry_bytes.pop(victim)
+            del self._entries[victim]
+            self._evictions.add()
+            obs.add("cache.evictions")
 
     def unpin(self, stack: PowerGridStack) -> bool:
         """Release a pin taken by ``get(stack, pin=True)``.
@@ -517,10 +611,17 @@ class PlaneFactorCache:
         The entry stays cached but becomes LRU-evictable again -- how a
         long-lived holder (an :class:`repro.eco.EcoSession` closing, a
         finished Monte Carlo run) hands its baseline factors back to the
-        pool.  Returns whether the geometry was actually pinned.
+        pool.  An over-capacity cache (see ``pinned_overflow``) performs
+        its deferred eviction here, so releasing the last pin shrinks it
+        immediately rather than waiting for the next miss.  Returns
+        whether the geometry was actually pinned.
         """
         key = stack_plane_signature(stack)
-        if key in self._pinned:
+        with self._lock:
+            if key not in self._pinned:
+                return False
             self._pinned.discard(key)
+            if self._over_capacity():
+                self._evict_over_capacity()
+                obs.set_gauge("cache.factor_bytes", self._factor_bytes)
             return True
-        return False

@@ -19,11 +19,19 @@ Design constraints, in order:
   the disabled-overhead benchmark multiplies it by the measured per-op
   cost to bound instrumentation overhead deterministically instead of
   diffing two noisy wall-clock runs.
+* **Thread-safe where it must be.**  The one-call update entry points
+  (:meth:`MetricsRegistry.add` and friends) and :meth:`snapshot` take a
+  lock: engines running on a service's worker pool all report into the
+  shared default registry, and an unlocked ``value += n`` is a
+  read-modify-write that loses updates under preemption.  Direct
+  instrument handles (``Counter.add`` on a locally owned counter)
+  remain lock-free -- owners serialize access themselves.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 
 
 class Counter:
@@ -128,6 +136,10 @@ class MetricsRegistry:
         #: Updates absorbed (any instrument) -- the unit the disabled-mode
         #: overhead bound is expressed in.
         self.ops = 0
+        # Serializes the one-call update paths and snapshot: the shared
+        # default registry absorbs reports from every worker thread of a
+        # running service, where unlocked += loses counts.
+        self._lock = threading.Lock()
 
     # -- get-or-create ---------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -156,37 +168,43 @@ class MetricsRegistry:
 
     # -- one-call updates (what the engines use) -------------------------
     def add(self, name: str, n: int = 1) -> None:
-        self.ops += 1
-        self.counter(name).add(n)
+        with self._lock:
+            self.ops += 1
+            self.counter(name).add(n)
 
     def set_gauge(self, name: str, value: float) -> None:
-        self.ops += 1
-        self.gauge(name).set(value)
+        with self._lock:
+            self.ops += 1
+            self.gauge(name).set(value)
 
     def observe(self, name: str, value: float) -> None:
-        self.ops += 1
-        self.histogram(name).observe(value)
+        with self._lock:
+            self.ops += 1
+            self.histogram(name).observe(value)
 
     def record(self, name: str, step: float, value: float) -> None:
-        self.ops += 1
-        self.series(name).append(step, value)
+        with self._lock:
+            self.ops += 1
+            self.series(name).append(step, value)
 
     # -- snapshots -------------------------------------------------------
     def snapshot(self, *, include_series: bool = False) -> dict:
-        """Plain-dict view of every instrument (JSON-ready)."""
-        snap: dict = {
-            "counters": {k: c.value for k, c in self.counters.items()},
-            "gauges": {k: g.value for k, g in self.gauges.items()},
-            "histograms": {
-                k: h.summary() for k, h in self.histograms.items()
-            },
-        }
-        if include_series:
-            snap["series"] = {
-                k: {"steps": list(s.steps), "values": list(s.values)}
-                for k, s in self.series_store.items()
+        """Plain-dict view of every instrument (JSON-ready).  Taken
+        under the update lock, so concurrent reporters cannot tear it."""
+        with self._lock:
+            snap: dict = {
+                "counters": {k: c.value for k, c in self.counters.items()},
+                "gauges": {k: g.value for k, g in self.gauges.items()},
+                "histograms": {
+                    k: h.summary() for k, h in self.histograms.items()
+                },
             }
-        return snap
+            if include_series:
+                snap["series"] = {
+                    k: {"steps": list(s.steps), "values": list(s.values)}
+                    for k, s in self.series_store.items()
+                }
+            return snap
 
 
 def snapshot_delta(before: dict, after: dict) -> dict:

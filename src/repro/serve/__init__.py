@@ -1,0 +1,49 @@
+"""Grid-analysis service: an HTTP/job-queue front end over one shared
+factor cache.
+
+The CLI engines amortize factorizations *within* one process run; this
+package amortizes them *across requests*.  A long-running
+``repro serve`` process keeps a concurrency-safe
+:class:`~repro.core.planes.PlaneFactorCache` resident, so the expensive
+plane factors of a popular grid are computed once (single-flight, even
+under concurrent misses) and served to every request that follows.
+
+Public surface (see docs/service.md):
+
+* :class:`GridAnalysisService` -- grid registry + bounded job queue +
+  worker pool + request coalescing, independent of any transport;
+* :class:`ServiceConfig` -- tuning knobs (workers, queue depth,
+  batching window, cache bounds, default timeout);
+* :class:`Job` / :class:`JobState` / :class:`JobQueue` -- lifecycle:
+  ``queued -> running -> done | failed | cancelled``, per-job timeouts,
+  bounded depth with backpressure (:class:`QueueFullError` -> HTTP 429);
+* :func:`serve_http` / :func:`make_http_server` -- the stdlib
+  ``ThreadingHTTPServer`` JSON API (``/grids``, ``/jobs``, ``/metrics``).
+"""
+
+from repro.serve.jobs import (
+    Job,
+    JobQueue,
+    JobState,
+    QueueFullError,
+    UnknownJobError,
+)
+from repro.serve.service import (
+    GridAnalysisService,
+    ServiceConfig,
+    UnknownGridError,
+)
+from repro.serve.http import make_http_server, serve_http
+
+__all__ = [
+    "GridAnalysisService",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "QueueFullError",
+    "ServiceConfig",
+    "UnknownGridError",
+    "UnknownJobError",
+    "make_http_server",
+    "serve_http",
+]

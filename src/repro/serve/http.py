@@ -1,0 +1,222 @@
+"""Stdlib HTTP/JSON transport for :class:`GridAnalysisService`.
+
+A deliberately small REST surface (every body and response is JSON;
+see docs/service.md for examples):
+
+================  ======  ===============================================
+Path              Method  Meaning
+================  ======  ===============================================
+``/healthz``      GET     liveness probe
+``/grids``        GET     registered grid names
+``/grids``        POST    ``{"name": ..., "spec": {...}}`` -> grid info
+``/jobs``         GET     all job status records
+``/jobs``         POST    ``{"kind", "grid", "params", "timeout"}`` ->
+                          202 + job record; **429** when the queue is
+                          full (backpressure -- retry later)
+``/jobs/<id>``    GET     job record (+ result when done); ``?wait=S``
+                          blocks up to S seconds for a terminal state
+``/jobs/<id>``    DELETE  cancel (queued: immediate; running:
+                          best-effort)
+``/metrics``      GET     service/cache/queue metrics snapshot
+================  ======  ===============================================
+
+Built on ``http.server.ThreadingHTTPServer`` -- one thread per
+connection, which is fine because handlers only enqueue work and read
+state; the solver work happens on the service's own worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro import obs
+from repro.errors import ReproError
+from repro.serve.jobs import JobState, QueueFullError, UnknownJobError
+from repro.serve.service import GridAnalysisService, UnknownGridError
+
+#: Cap on accepted request bodies (a grid spec or job submission is a
+#: few hundred bytes; anything bigger is a client bug or abuse).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; routing is a small if-ladder over (method, path)."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+    #: Injected by :func:`make_http_server`.
+    service: GridAnalysisService
+
+    # -- plumbing --------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep stdout clean; observability goes through repro.obs
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ReproError(f"request body over {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"invalid JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise ReproError("request body must be a JSON object")
+        return body
+
+    # -- routes ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        obs.add("serve.http_requests")
+        try:
+            if parts == ["healthz"]:
+                self._send(200, {"status": "ok"})
+            elif parts == ["metrics"]:
+                self._send(200, self.service.metrics())
+            elif parts == ["grids"]:
+                self._send(
+                    200,
+                    {
+                        "grids": [
+                            self.service.describe_grid(name)
+                            for name in self.service.grids()
+                        ]
+                    },
+                )
+            elif parts == ["jobs"]:
+                self._send(
+                    200,
+                    {"jobs": [j.describe() for j in self.service.queue.jobs()]},
+                )
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._get_job(parts[1], parse_qs(url.query))
+            else:
+                self._error(404, f"no route for GET {url.path}")
+        except (UnknownJobError, UnknownGridError) as exc:
+            self._error(404, str(exc))
+        except ReproError as exc:
+            self._error(400, str(exc))
+
+    def _get_job(self, job_id: str, query: dict) -> None:
+        wait = float(query.get("wait", ["0"])[0])
+        deadline = time.monotonic() + min(wait, 300.0)
+        while True:
+            self.service.queue.expire()
+            job = self.service.queue.get(job_id)
+            if job.state in JobState.TERMINAL or time.monotonic() >= deadline:
+                break
+            time.sleep(0.005)
+        self._send(200, job.describe(include_result=True))
+
+    def do_POST(self) -> None:  # noqa: N802
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        obs.add("serve.http_requests")
+        try:
+            body = self._body()
+            if parts == ["grids"]:
+                name = body.get("name")
+                if not name:
+                    raise ReproError("grid registration needs a 'name'")
+                info = self.service.register_grid(name, body.get("spec") or {})
+                self._send(201, info)
+            elif parts == ["jobs"]:
+                kind = body.get("kind")
+                grid = body.get("grid")
+                if not kind or not grid:
+                    raise ReproError("job submission needs 'kind' and 'grid'")
+                timeout = body.get("timeout")
+                job = self.service.submit(
+                    kind,
+                    grid,
+                    body.get("params") or {},
+                    timeout=None if timeout is None else float(timeout),
+                )
+                self._send(202, job.describe())
+            else:
+                self._error(404, f"no route for POST {url.path}")
+        except QueueFullError as exc:
+            # The backpressure contract: full queue -> 429, client backs
+            # off and retries.  Nothing was enqueued.
+            self.send_response_only(429)
+            body = json.dumps({"error": str(exc)}).encode()
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Retry-After", "1")
+            self.end_headers()
+            self.wfile.write(body)
+        except UnknownGridError as exc:
+            self._error(404, str(exc))
+        except ReproError as exc:
+            self._error(400, str(exc))
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        obs.add("serve.http_requests")
+        try:
+            if len(parts) == 2 and parts[0] == "jobs":
+                job = self.service.queue.cancel(parts[1])
+                self._send(200, job.describe())
+            else:
+                self._error(404, f"no route for DELETE {self.path}")
+        except UnknownJobError as exc:
+            self._error(404, str(exc))
+        except ReproError as exc:
+            self._error(400, str(exc))
+
+
+def make_http_server(
+    service: GridAnalysisService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind a server for ``service`` (``port=0`` picks an ephemeral
+    port; read it back from ``server.server_address``).  The caller owns
+    both lifecycles: ``service.start()`` before serving,
+    ``server.shutdown()`` + ``service.close()`` to stop."""
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve_http(
+    service: GridAnalysisService, host: str = "127.0.0.1", port: int = 8642
+) -> None:
+    """Run the service behind a blocking HTTP loop (the ``repro serve``
+    entry point).  Ctrl-C shuts down cleanly: in-flight jobs finish,
+    queued jobs fail with a shutdown error."""
+    server = make_http_server(service, host, port)
+    actual_host, actual_port = server.server_address[:2]
+    service.start()
+    print(f"repro serve: listening on http://{actual_host}:{actual_port}")
+    print(
+        f"  workers={service.config.workers} "
+        f"queue_depth={service.config.queue_depth} "
+        f"batch_window={service.config.batch_window:g}s "
+        f"cache_entries={service.config.cache_entries}"
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("\nrepro serve: shutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+__all__ = ["MAX_BODY_BYTES", "make_http_server", "serve_http"]

@@ -1,0 +1,713 @@
+"""The grid-analysis service: registry, dispatcher, workers, coalescing.
+
+:class:`GridAnalysisService` is the transport-independent core behind
+``repro serve``.  Clients register named grids once, then submit jobs
+(``sweep``, ``mc``, ``sensitivity``, ``optimize``, ``eco``) that all
+solve against **one** shared, concurrency-safe
+:class:`~repro.core.planes.PlaneFactorCache` -- the expensive plane
+factors of a popular grid are computed once and reused by every request
+that follows (single-flight even when concurrent requests miss
+together).
+
+Request coalescing
+------------------
+Compatible ``sweep`` jobs -- same grid and same solver configuration --
+that arrive within one batching window are merged into a single
+:class:`~repro.core.batch.BatchedVPSolver` multi-RHS solve and fanned
+back out per job.  Merging is exact, not approximate: every scenario
+column of a batched solve follows the same iteration sequence a
+standalone solve would (column independence, see
+:mod:`repro.core.batch`), so each job's results are bitwise identical
+to what it would have computed alone.  Scenario names are prefixed with
+the owning job id inside the merged set (``ScenarioSet`` requires
+unique names) and stripped again on fan-out.
+
+The dispatcher thread owns the window: it pops a job, and -- if the job
+is coalescible -- keeps pulling compatible jobs for up to
+``ServiceConfig.batch_window`` seconds before handing the merged batch
+to the worker pool.  Incompatible jobs wait out the window (bounded
+head-of-line blocking, documented in docs/service.md).
+
+Observability
+-------------
+Every job runs under a ``serve.job`` span; the service maintains
+``serve.*`` counters (submissions, terminal states, rejections,
+coalesced batches/columns, cross-request cache hits) and the
+``serve.queue_depth`` gauge, all readable through :meth:`metrics` (the
+``/metrics`` endpoint).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+
+from repro import obs
+from repro.core.batch import BatchedVPConfig, BatchedVPSolver
+from repro.core.planes import PlaneFactorCache, stack_plane_signature
+from repro.errors import ReproError
+from repro.scenarios.spec import Scenario, ScenarioSet
+from repro.serve.jobs import Job, JobQueue
+
+#: Job kinds the service accepts (see docs/service.md for parameters).
+JOB_KINDS = ("sweep", "mc", "sensitivity", "optimize", "eco")
+
+
+class UnknownGridError(ReproError):
+    """Job references a grid name that was never registered."""
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of one service instance."""
+
+    #: Worker threads executing jobs (numpy/scipy release the GIL in
+    #: the factorization and back-substitution kernels, so solver
+    #: throughput scales past one thread).
+    workers: int = 4
+    #: Max jobs in flight (queued + running) before submissions are
+    #: rejected with 429.
+    queue_depth: int = 64
+    #: Coalescing window in seconds: how long the dispatcher holds a
+    #: coalescible sweep job open for compatible arrivals.  0 disables
+    #: coalescing.
+    batch_window: float = 0.025
+    #: Shared factor-cache bounds (entries / bytes; None = no byte cap).
+    cache_entries: int = 8
+    cache_bytes: int | None = None
+    #: Default per-job execution timeout (seconds; None = no timeout).
+    default_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ReproError("workers must be >= 1")
+        if self.batch_window < 0:
+            raise ReproError("batch_window must be >= 0")
+
+
+def _scenario_from_params(spec: dict) -> Scenario:
+    """Build a :class:`Scenario` from one request dict."""
+    if not isinstance(spec, dict):
+        raise ReproError(f"scenario spec must be an object, got {spec!r}")
+    known = {"name", "load_scale", "r_tsv_scale", "plane_scale"}
+    unknown = set(spec) - known
+    if unknown:
+        raise ReproError(
+            f"unknown scenario fields {sorted(unknown)}; expected a subset "
+            f"of {sorted(known)}"
+        )
+    kwargs = dict(spec)
+    for key in ("load_scale", "plane_scale"):
+        if isinstance(kwargs.get(key), list):
+            kwargs[key] = tuple(float(v) for v in kwargs[key])
+    return Scenario(**kwargs)
+
+
+def _sweep_config(params: dict) -> BatchedVPConfig:
+    return BatchedVPConfig(
+        outer_tol=float(params.get("outer_tol", 1e-4)),
+        max_outer=int(params.get("max_outer", 200)),
+        vda=str(params.get("vda", "auto")),
+        eta=None if params.get("eta") is None else float(params["eta"]),
+        v0_init=str(params.get("v0_init", "pin")),
+    )
+
+
+def _sweep_coalesce_key(grid: str, params: dict) -> tuple:
+    """Compatibility key of a sweep job: grid identity plus every solver
+    knob that changes the iteration sequence.  Jobs sharing this key can
+    ride one merged batch without changing any job's numbers."""
+    config = _sweep_config(params)
+    return (
+        "sweep",
+        grid,
+        config.outer_tol,
+        config.max_outer,
+        config.vda,
+        config.eta,
+        config.v0_init,
+    )
+
+
+class GridAnalysisService:
+    """Grid registry + job queue + worker pool over one shared cache.
+
+    Use as a context manager (or call :meth:`start` / :meth:`close`)::
+
+        with GridAnalysisService() as service:
+            service.register_grid("c1", {"side": 20, "tiers": 3})
+            job = service.submit("sweep", "c1", {"scenarios": [...]})
+            result = service.wait(job.id)
+    """
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.cache = PlaneFactorCache(
+            max_entries=self.config.cache_entries,
+            max_bytes=self.config.cache_bytes,
+        )
+        self.queue = JobQueue(max_depth=self.config.queue_depth)
+        self._grids: dict[str, object] = {}
+        self._grids_lock = threading.Lock()
+        # Signatures whose factors some earlier request already built:
+        # a later job finding its signature here is a *cross-request*
+        # cache hit -- the quantity the whole service exists to create.
+        self._factored: set[bytes] = set()
+        self._executor: ThreadPoolExecutor | None = None
+        self._dispatcher: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.started_at = time.time()
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "GridAnalysisService":
+        if self._dispatcher is not None:
+            return self
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve-worker",
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        return self
+
+    def close(self) -> None:
+        """Drain and stop: no new submissions, running jobs finish."""
+        self._stop.set()
+        self.queue.close()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=10.0)
+            self._dispatcher = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "GridAnalysisService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- grid registry ---------------------------------------------------
+    def register_grid(self, name: str, spec: dict) -> dict:
+        """Register (or replace) a named grid from a build spec.
+
+        ``spec`` is either ``{"circuit": <benchmark name>}`` or a
+        synthesis spec ``{"side", "tiers", "r_tsv", "vdd", "seed"}``
+        (all optional, CLI defaults apply).  Registration builds the
+        stack but not its factors -- those are built by the first job
+        (and cached for every job after).
+        """
+        if not name:
+            raise ReproError("grid needs a non-empty name")
+        stack = self._build_stack(name, spec or {})
+        with self._grids_lock:
+            self._grids[name] = stack
+        obs.add("serve.grids_registered")
+        return self.describe_grid(name)
+
+    @staticmethod
+    def _build_stack(name: str, spec: dict):
+        from repro.bench.circuits import build_circuit
+        from repro.grid.generators import synthesize_stack
+
+        known = {"circuit", "side", "tiers", "r_tsv", "vdd", "seed"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ReproError(
+                f"unknown grid spec fields {sorted(unknown)}; expected a "
+                f"subset of {sorted(known)}"
+            )
+        if spec.get("circuit"):
+            return build_circuit(
+                spec["circuit"], seed=int(spec.get("seed", 0))
+            )
+        side = int(spec.get("side", 40))
+        return synthesize_stack(
+            side,
+            side,
+            int(spec.get("tiers", 3)),
+            r_tsv=float(spec.get("r_tsv", 0.05)),
+            v_pin=float(spec.get("vdd", 1.8)),
+            rng=int(spec.get("seed", 0)),
+            name=f"serve-{name}",
+        )
+
+    def _stack(self, name: str):
+        with self._grids_lock:
+            stack = self._grids.get(name)
+        if stack is None:
+            raise UnknownGridError(f"unknown grid {name!r}; register it first")
+        return stack
+
+    def grids(self) -> list[str]:
+        with self._grids_lock:
+            return sorted(self._grids)
+
+    def describe_grid(self, name: str) -> dict:
+        stack = self._stack(name)
+        return {
+            "name": name,
+            "tiers": stack.n_tiers,
+            "rows": stack.rows,
+            "cols": stack.cols,
+            "nodes": stack.n_tiers * stack.rows * stack.cols,
+            "pillars": stack.pillars.count,
+            "signature": stack_plane_signature(stack).hex()[:16],
+        }
+
+    # -- submission ------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        grid: str,
+        params: dict | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> Job:
+        """Validate and enqueue a job (raises
+        :class:`~repro.serve.jobs.QueueFullError` under backpressure)."""
+        if kind not in JOB_KINDS:
+            raise ReproError(
+                f"unknown job kind {kind!r}; expected one of {JOB_KINDS}"
+            )
+        self._stack(grid)  # validate the reference at submit time
+        params = dict(params or {})
+        key = _sweep_coalesce_key(grid, params) if kind == "sweep" else None
+        if timeout is None:
+            timeout = self.config.default_timeout
+        return self.queue.submit(
+            kind, grid, params, timeout=timeout, coalesce_key=key
+        )
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> Job:
+        """Block until a job reaches a terminal state (poll-based; the
+        HTTP layer exposes the same via ``GET /jobs/<id>?wait=``)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            self.queue.expire()
+            job = self.queue.get(job_id)
+            if job.state in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ReproError(
+                    f"job {job_id} still {job.state} after {timeout:g}s"
+                )
+            time.sleep(0.005)
+
+    # -- dispatcher ------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            self.queue.expire()
+            job = self.queue.pop(timeout=0.1)
+            if job is None:
+                continue
+            batch = [job]
+            window = self.config.batch_window
+            if job.coalesce_key is not None and window > 0:
+                deadline = time.monotonic() + window
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    extra = self.queue.pop_compatible(
+                        job.coalesce_key, remaining
+                    )
+                    if extra is None:
+                        break
+                    batch.append(extra)
+            if self._executor is None:  # closing
+                for j in batch:
+                    self.queue.fail(j, "service shut down before execution")
+                continue
+            self._executor.submit(self._run_batch, batch)
+        # Drain: fail anything still queued at shutdown.
+        while True:
+            job = self.queue.pop(timeout=0)
+            if job is None:
+                break
+            self.queue.fail(job, "service shut down before execution")
+
+    # -- execution -------------------------------------------------------
+    def _run_batch(self, batch: list[Job]) -> None:
+        t0 = time.perf_counter()
+        try:
+            if batch[0].kind == "sweep":
+                self._run_sweep_batch(batch)
+            else:
+                self._run_single(batch[0])
+        except ReproError as exc:
+            for job in batch:
+                self.queue.fail(job, str(exc))
+        except Exception as exc:  # worker threads must never die silent
+            for job in batch:
+                self.queue.fail(job, f"{type(exc).__name__}: {exc}")
+        finally:
+            dt = time.perf_counter() - t0
+            tr = obs.tracer()
+            if tr.enabled:
+                for job in batch:
+                    tr.add_complete(
+                        "serve.job", t0, dt,
+                        job=job.id, kind=job.kind, grid=job.grid,
+                        batch_jobs=len(batch),
+                    )
+            obs.observe("serve.job_seconds", dt)
+            self.queue.expire()
+
+    def _note_cache_use(self, stack) -> None:
+        """Count cross-request factor reuse (the service's raison
+        d'etre) before touching the cache for a job."""
+        signature = stack_plane_signature(stack)
+        with self._grids_lock:
+            seen = signature in self._factored
+            self._factored.add(signature)
+        if seen:
+            obs.add("serve.cache_cross_request_hits")
+
+    def _run_sweep_batch(self, batch: list[Job]) -> None:
+        grid = batch[0].grid
+        stack = self._stack(grid)
+        config = _sweep_config(batch[0].params)
+
+        # Merge: one scenario list per job, names prefixed by job id so
+        # the merged set stays duplicate-free; slices remember who owns
+        # which columns for fan-out.
+        merged: list[Scenario] = []
+        slices: list[tuple[Job, int, int]] = []
+        for job in batch:
+            specs = job.params.get("scenarios") or [{"name": "nominal"}]
+            scenarios = [_scenario_from_params(s) for s in specs]
+            start = len(merged)
+            merged.extend(
+                replace(s, name=f"{job.id}/{s.name}") for s in scenarios
+            )
+            slices.append((job, start, len(merged)))
+
+        if len(batch) > 1:
+            obs.add("serve.coalesced_batches")
+            obs.add("serve.coalesced_columns", len(merged))
+
+        self._note_cache_use(stack)
+        with obs.span(
+            "serve.solve", grid=grid, jobs=len(batch), columns=len(merged)
+        ):
+            planes = self.cache.get(stack)
+            solver = BatchedVPSolver(
+                stack, ScenarioSet(merged), config, planes=planes
+            )
+            result = solver.solve()
+
+        drops = result.worst_ir_drop()
+        for job, start, stop in slices:
+            scenarios_out = []
+            for k in range(start, stop):
+                name = result.scenario_names[k].split("/", 1)[1]
+                scenarios_out.append(
+                    {
+                        "name": name,
+                        "converged": bool(result.converged[k]),
+                        "outer_iterations": int(result.outer_iterations[k]),
+                        "max_vdiff": float(result.max_vdiff[k]),
+                        "worst_ir_drop": float(drops[k]),
+                        "min_voltage": float(result.voltages[..., k].min()),
+                        "pillar_v0": [
+                            float(v) for v in result.pillar_v0[:, k]
+                        ],
+                    }
+                )
+            job.batch_jobs = len(batch)
+            self.queue.finish(
+                job,
+                {
+                    "kind": "sweep",
+                    "grid": grid,
+                    "scenarios": scenarios_out,
+                    "batch_jobs": len(batch),
+                    "batch_columns": len(merged),
+                },
+            )
+
+    def _run_single(self, job: Job) -> None:
+        runner = {
+            "mc": self._run_mc,
+            "sensitivity": self._run_sensitivity,
+            "optimize": self._run_optimize,
+            "eco": self._run_eco,
+        }[job.kind]
+        stack = self._stack(job.grid)
+        self._note_cache_use(stack)
+        with obs.span("serve.solve", grid=job.grid, kind=job.kind, jobs=1):
+            result = runner(job, stack)
+        job.batch_jobs = 1
+        self.queue.finish(job, result)
+
+    def _run_mc(self, job: Job, stack) -> dict:
+        from repro.stochastic import (
+            MetalWidthVariation,
+            MonteCarloConfig,
+            TSVVariation,
+            VariationSpec,
+            WireFieldVariation,
+        )
+
+        p = job.params
+        wire = (
+            WireFieldVariation(
+                sigma=float(p.get("sigma_wire", 0.0)),
+                sigma_pad=float(p.get("sigma_pad", 0.0)),
+                corr_length=float(p.get("corr_length", 0.0)),
+            )
+            if (p.get("sigma_wire") or p.get("sigma_pad"))
+            else None
+        )
+        width = (
+            MetalWidthVariation(sigma=float(p["sigma_width"]))
+            if p.get("sigma_width")
+            else None
+        )
+        tsv = (
+            TSVVariation(sigma=float(p["sigma_tsv"]))
+            if p.get("sigma_tsv")
+            else None
+        )
+        if wire is None and width is None and tsv is None:
+            raise ReproError(
+                "mc job varies nothing: set sigma_wire, sigma_pad, "
+                "sigma_width, or sigma_tsv"
+            )
+        spec = VariationSpec(wire=wire, width=width, tsv=tsv, name=job.id)
+        config_kwargs = {
+            k: p[k] for k in ("batch_size", "outer_tol", "budget") if k in p
+        }
+        if "quantiles" in p:
+            config_kwargs["quantiles"] = tuple(
+                float(q) for q in p["quantiles"]
+            )
+        from repro.stochastic import run_monte_carlo
+
+        try:
+            result = run_monte_carlo(
+                stack,
+                spec,
+                int(p.get("samples", 16)),
+                seed=int(p.get("seed", 0)),
+                config=MonteCarloConfig(**config_kwargs),
+                cache=self.cache,
+            )
+        finally:
+            # The MC driver pins the baseline factors and leaves them
+            # pinned; the service hands them back to the LRU pool so one
+            # grid's population study cannot wedge the shared cache.
+            self.cache.unpin(stack)
+        return {
+            "kind": "mc",
+            "grid": job.grid,
+            "n_samples": result.n_samples,
+            "converged": int(result.converged.sum()),
+            "mean_worst_drop": result.mean_worst_drop,
+            "std_worst_drop": result.std_worst_drop,
+            "quantiles": [
+                {
+                    "q": e.q,
+                    "value": e.value,
+                    "ci_low": e.ci_low,
+                    "ci_high": e.ci_high,
+                }
+                for e in result.quantiles
+            ],
+            "refactorizations": result.stats.refactorizations,
+        }
+
+    def _run_sensitivity(self, job: Job, stack) -> dict:
+        from repro.sensitivity import (
+            LoadCurrentParam,
+            MetalWidthParam,
+            NodeDrop,
+            ParameterSpace,
+            SmoothWorstDrop,
+            TSVConductanceParam,
+            adjoint_gradient,
+        )
+
+        p = job.params
+        blocks = []
+        for family in p.get("params", ["width"]):
+            if family == "width":
+                blocks.append(MetalWidthParam())
+            elif family == "tsv":
+                blocks.append(TSVConductanceParam())
+            elif family == "load":
+                blocks.extend(
+                    LoadCurrentParam(t) for t in range(stack.n_tiers)
+                )
+            else:
+                raise ReproError(
+                    f"unknown parameter family {family!r}; use width, "
+                    "tsv, load"
+                )
+        space = ParameterSpace(stack, blocks)
+        if "node" in p:
+            metric = NodeDrop(*(int(v) for v in p["node"]))
+        elif "beta" in p:
+            metric = SmoothWorstDrop(beta=float(p["beta"]))
+        else:
+            metric = SmoothWorstDrop()
+        try:
+            result = adjoint_gradient(space, metric, cache=self.cache)
+        finally:
+            self.cache.unpin(stack)
+        return {
+            "kind": "sensitivity",
+            "grid": job.grid,
+            "metric": result.metric_name,
+            "metric_value": result.metric_value,
+            "n_params": result.n_params,
+            "adjoint_converged": result.adjoint_converged,
+            "new_factorizations": result.new_factorizations,
+            "top": [
+                {"parameter": name, "gradient": g}
+                for name, g in result.top(int(p.get("top", 10)))
+            ],
+        }
+
+    def _run_optimize(self, job: Job, stack) -> dict:
+        from repro.scenarios import pad_current_sweep
+
+        p = job.params
+        scenarios = (
+            pad_current_sweep([float(s) for s in p["load_scales"]])
+            if p.get("load_scales")
+            else None
+        )
+        mode = p.get("mode", "budget")
+        try:
+            if mode == "budget":
+                from repro.optimize import BudgetConfig, allocate_wire_width
+
+                bounds = [float(b) for b in p.get("bounds", (0.5, 2.5))]
+                if len(bounds) != 2:
+                    raise ReproError("bounds expects [lo, hi]")
+                config = (
+                    BudgetConfig(max_iterations=int(p["iterations"]))
+                    if "iterations" in p
+                    else None
+                )
+                result = allocate_wire_width(
+                    stack,
+                    budget=p.get("area_budget"),
+                    bounds=(bounds[0], bounds[1]),
+                    scenarios=scenarios,
+                    config=config,
+                    cache=self.cache,
+                )
+            elif mode == "placement":
+                from repro.optimize import (
+                    PlacementConfig,
+                    refine_pin_placement,
+                )
+
+                config = (
+                    PlacementConfig(max_rounds=int(p["iterations"]))
+                    if "iterations" in p
+                    else None
+                )
+                result = refine_pin_placement(
+                    stack,
+                    n_pins=p.get("pins"),
+                    scenarios=scenarios,
+                    config=config,
+                    cache=self.cache,
+                )
+            else:
+                raise ReproError(
+                    f"unknown optimize mode {mode!r}; use budget or "
+                    "placement"
+                )
+        finally:
+            self.cache.unpin(stack)
+        return {"kind": "optimize", "grid": job.grid, "mode": mode,
+                **result.payload()}
+
+    def _run_eco(self, job: Job, stack) -> dict:
+        from repro.eco import EcoSession, generate_candidates
+        from repro.scenarios import pad_current_sweep
+
+        p = job.params
+        candidates = generate_candidates(
+            stack,
+            p.get("sweep", "strap"),
+            int(p.get("candidates", 8)),
+            seed=int(p.get("seed", 0)),
+        )
+        scenarios = (
+            pad_current_sweep([float(s) for s in p["load_scales"]])
+            if p.get("load_scales")
+            else None
+        )
+        # EcoSession pins the base factors for its lifetime and unpins
+        # them in close() -- the context manager is the unpin path here.
+        with EcoSession(
+            stack, scenarios=scenarios, cache=self.cache
+        ) as session:
+            report = session.rank_candidates(candidates)
+        ranked = report.ranked()[: int(p.get("top", 10))]
+        return {
+            "kind": "eco",
+            "grid": job.grid,
+            "metric": report.metric,
+            "baseline_metric": report.baseline_metric,
+            "candidates": len(report.rows),
+            "eval_factorizations": report.eval_factorizations,
+            "rows": [
+                {
+                    "name": row.name,
+                    "metric": row.metric,
+                    "improvement": row.improvement,
+                    "rank": row.rank,
+                    "converged": row.converged,
+                }
+                for row in ranked
+            ],
+        }
+
+    # -- introspection ---------------------------------------------------
+    def metrics(self) -> dict:
+        """One JSON-ready snapshot: obs instruments, cache stats, queue
+        state (the ``/metrics`` endpoint)."""
+        snap = obs.metrics().snapshot()
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "counters": snap["counters"],
+            "gauges": snap["gauges"],
+            "histograms": snap["histograms"],
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "factorizations": self.cache.factorizations,
+                "evictions": self.cache.evictions,
+                "pinned_overflow": self.cache.pinned_overflow,
+                "single_flight_waits": self.cache.single_flight_waits,
+                "factor_bytes": self.cache.factor_bytes,
+                "entries": len(self.cache),
+                "max_entries": self.cache.max_entries,
+                "max_bytes": self.cache.max_bytes,
+            },
+            "queue": {
+                "depth": self.queue.depth,
+                "max_depth": self.queue.max_depth,
+            },
+            "grids": self.grids(),
+        }
+
+
+__all__ = [
+    "JOB_KINDS",
+    "GridAnalysisService",
+    "ServiceConfig",
+    "UnknownGridError",
+]

@@ -113,3 +113,60 @@ class TestProfileSubcommand:
             "profile", "compare", str(a), str(b), "--budget", "1e-6"
         )
         assert rc == 1
+
+
+class TestFailingRunStillFlushesTheTrace:
+    """Regression: ``--profile`` used to write the trace only on the
+    success path, so the exact runs a trace is most wanted for -- the
+    failing ones -- lost it.  The flush now lives in a ``finally``."""
+
+    def test_failing_command_writes_a_valid_trace(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.cli as cli
+        from repro import obs
+        from repro.errors import ReproError
+
+        def exploding_sweep(args):
+            with obs.span("doomed.work", stage="pre-crash"):
+                pass
+            raise ReproError("synthetic mid-run failure")
+
+        # build_parser() binds cmd_* at call time (inside main), so the
+        # patched command is what --profile wraps.
+        monkeypatch.setattr(cli, "cmd_sweep", exploding_sweep)
+        trace_path = tmp_path / "crash.trace.json"
+        rc = run_cli("sweep", "--profile", str(trace_path))
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "error: synthetic mid-run failure" in captured.err
+        assert "profile: trace written to" in captured.out
+        # The spans recorded before the crash made it to disk.
+        doc = json.loads(trace_path.read_text())
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "B"]
+        assert "doomed.work" in names
+        assert "metrics" in doc
+
+    def test_failing_real_command_writes_the_trace(self, tmp_path, capsys):
+        # No monkeypatching: mc with nothing varying raises ReproError.
+        trace_path = tmp_path / "mc.trace.json"
+        rc = run_cli(
+            "mc", "--side", "8", "--tiers", "2",
+            "--profile", str(trace_path),
+        )
+        assert rc == 2
+        assert "nothing varies" in capsys.readouterr().err
+        doc = json.loads(trace_path.read_text())
+        assert "traceEvents" in doc
+
+    def test_profile_subcommand_flushes_on_workload_failure(
+        self, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "sub.trace.json"
+        rc = run_cli(
+            "profile", "--trace", str(trace_path),
+            "mc", "--side", "8", "--tiers", "2",
+        )
+        assert rc == 2
+        assert "nothing varies" in capsys.readouterr().err
+        assert json.loads(trace_path.read_text())["traceEvents"] == []

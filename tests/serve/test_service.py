@@ -1,0 +1,243 @@
+"""GridAnalysisService: registry, job kinds, coalescing, shared cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.batch import BatchedVPConfig, BatchedVPSolver
+from repro.errors import ReproError
+from repro.serve import (
+    GridAnalysisService,
+    QueueFullError,
+    ServiceConfig,
+    UnknownGridError,
+)
+from repro.serve.service import _sweep_coalesce_key
+
+SMALL = {"side": 10, "tiers": 2, "seed": 3}
+
+
+@pytest.fixture
+def service():
+    with GridAnalysisService(
+        ServiceConfig(workers=2, batch_window=0.02, queue_depth=16)
+    ) as svc:
+        svc.register_grid("g1", SMALL)
+        yield svc
+
+
+class TestRegistry:
+    def test_register_and_describe(self, service):
+        info = service.describe_grid("g1")
+        assert info["nodes"] == 10 * 10 * 2
+        assert service.grids() == ["g1"]
+        assert len(info["signature"]) == 16
+
+    def test_circuit_spec(self, service):
+        info = service.register_grid("c0", {"circuit": "C0"})
+        assert info["tiers"] == 3
+
+    def test_unknown_grid_rejected_at_submit(self, service):
+        with pytest.raises(UnknownGridError):
+            service.submit("sweep", "nope", {})
+
+    def test_unknown_kind_rejected(self, service):
+        with pytest.raises(ReproError, match="unknown job kind"):
+            service.submit("transmogrify", "g1", {})
+
+    def test_bad_spec_fields_rejected(self, service):
+        with pytest.raises(ReproError, match="unknown grid spec fields"):
+            service.register_grid("bad", {"sides": 10})
+
+
+class TestSweepJobs:
+    def test_sweep_runs_and_reports_per_scenario(self, service):
+        job = service.submit(
+            "sweep",
+            "g1",
+            {"scenarios": [{"name": "a"}, {"name": "b", "load_scale": 1.3}]},
+        )
+        done = service.wait(job.id, timeout=60)
+        assert done.state == "done"
+        rows = done.result["scenarios"]
+        assert [r["name"] for r in rows] == ["a", "b"]
+        for row in rows:
+            assert row["converged"]
+            assert row["worst_ir_drop"] > 0
+            assert len(row["pillar_v0"]) > 0
+
+    def test_invalid_scenario_fails_the_job_not_the_service(self, service):
+        job = service.submit(
+            "sweep", "g1", {"scenarios": [{"name": "x", "bogus": 1}]}
+        )
+        done = service.wait(job.id, timeout=60)
+        assert done.state == "failed"
+        assert "unknown scenario fields" in done.error
+        # Service still serves afterwards.
+        ok = service.submit("sweep", "g1", {})
+        assert service.wait(ok.id, timeout=60).state == "done"
+
+    def test_coalesce_key_separates_configs(self):
+        base = _sweep_coalesce_key("g1", {})
+        assert _sweep_coalesce_key("g1", {}) == base
+        assert _sweep_coalesce_key("g2", {}) != base
+        assert _sweep_coalesce_key("g1", {"outer_tol": 1e-6}) != base
+        assert _sweep_coalesce_key("g1", {"vda": "anderson"}) != base
+
+
+class TestCoalescing:
+    def test_compatible_jobs_merge_and_match_the_solo_path(self):
+        """The tentpole acceptance contract at test scale: concurrent
+        compatible sweeps coalesce into one batch, pay one
+        factorization, and each job's numbers are bitwise identical to
+        a standalone solve of its scenarios."""
+        svc = GridAnalysisService(
+            ServiceConfig(workers=2, batch_window=0.05, queue_depth=16)
+        )
+        svc.register_grid("g1", SMALL)
+        scales = [0.8, 1.0, 1.2, 1.4]
+        # Submit while the dispatcher is not running yet: all four jobs
+        # are queued when it starts, so the batching window finds them
+        # deterministically.
+        jobs = [
+            svc.submit(
+                "sweep",
+                "g1",
+                {"scenarios": [{"name": "s", "load_scale": scale}]},
+            )
+            for scale in scales
+        ]
+        with svc:
+            done = [svc.wait(j.id, timeout=60) for j in jobs]
+
+        assert all(j.state == "done" for j in done)
+        assert all(j.batch_jobs == len(jobs) for j in done)
+        assert all(j.result["batch_columns"] == len(scales) for j in done)
+        # Exactly one factorization for the whole merged batch.
+        assert svc.cache.factorizations == 1
+
+        # Bitwise fan-out parity against the standalone path.
+        stack = svc._stack("g1")
+        for job, scale in zip(done, scales):
+            from repro.scenarios.spec import Scenario
+
+            solo = BatchedVPSolver(
+                stack,
+                [Scenario(name="s", load_scale=scale)],
+                BatchedVPConfig(),
+            ).solve()
+            row = job.result["scenarios"][0]
+            assert row["pillar_v0"] == [float(v) for v in solo.pillar_v0[:, 0]]
+            assert row["worst_ir_drop"] == float(solo.worst_ir_drop()[0])
+            assert row["outer_iterations"] == int(solo.outer_iterations[0])
+
+    def test_cross_request_hits_are_counted(self, service):
+        before = obs.metrics().snapshot()["counters"]
+        first = service.submit("sweep", "g1", {})
+        service.wait(first.id, timeout=60)
+        second = service.submit("sweep", "g1", {})
+        service.wait(second.id, timeout=60)
+        after = obs.metrics().snapshot()["counters"]
+        delta = after.get("serve.cache_cross_request_hits", 0) - before.get(
+            "serve.cache_cross_request_hits", 0
+        )
+        assert delta >= 1
+        assert service.cache.factorizations == 1
+
+
+class TestOtherJobKinds:
+    def test_mc_job(self, service):
+        job = service.submit(
+            "mc", "g1", {"samples": 6, "sigma_width": 0.05, "seed": 1}
+        )
+        done = service.wait(job.id, timeout=120)
+        assert done.state == "done", done.error
+        assert done.result["n_samples"] == 6
+        assert done.result["mean_worst_drop"] > 0
+        assert done.result["refactorizations"] == 0  # width-only contract
+        # The MC driver pins the baseline; the service must hand it back.
+        assert not service.cache._pinned
+
+    def test_mc_without_variation_fails_cleanly(self, service):
+        job = service.submit("mc", "g1", {"samples": 4})
+        done = service.wait(job.id, timeout=60)
+        assert done.state == "failed"
+        assert "varies nothing" in done.error
+
+    def test_sensitivity_job(self, service):
+        job = service.submit(
+            "sensitivity", "g1", {"params": ["width", "tsv"], "top": 3}
+        )
+        done = service.wait(job.id, timeout=120)
+        assert done.state == "done", done.error
+        assert done.result["adjoint_converged"]
+        assert len(done.result["top"]) == 3
+        assert not service.cache._pinned
+
+    def test_optimize_job(self, service):
+        job = service.submit(
+            "optimize", "g1", {"mode": "budget", "iterations": 2}
+        )
+        done = service.wait(job.id, timeout=180)
+        assert done.state == "done", done.error
+        assert done.result["worst_drop_after_v"] <= done.result[
+            "worst_drop_before_v"
+        ] + 1e-12
+        assert not service.cache._pinned
+
+    def test_eco_job(self, service):
+        job = service.submit(
+            "eco", "g1", {"sweep": "strap", "candidates": 4, "seed": 2}
+        )
+        done = service.wait(job.id, timeout=120)
+        assert done.state == "done", done.error
+        assert done.result["candidates"] == 4
+        assert done.result["eval_factorizations"] == 0  # SMW, no refactor
+        assert not service.cache._pinned
+
+
+class TestBackpressureAndMetrics:
+    def test_submit_raises_queue_full(self):
+        svc = GridAnalysisService(ServiceConfig(queue_depth=2))
+        svc.register_grid("g1", SMALL)
+        # Dispatcher not started: jobs stay queued.
+        svc.submit("sweep", "g1", {})
+        svc.submit("sweep", "g1", {})
+        with pytest.raises(QueueFullError):
+            svc.submit("sweep", "g1", {})
+
+    def test_metrics_snapshot_shape(self, service):
+        job = service.submit("sweep", "g1", {})
+        service.wait(job.id, timeout=60)
+        snap = service.metrics()
+        assert snap["grids"] == ["g1"]
+        assert snap["queue"]["max_depth"] == 16
+        assert snap["cache"]["factorizations"] >= 1
+        assert snap["counters"]["serve.jobs_submitted"] >= 1
+        assert "serve.queue_depth" in snap["gauges"]
+
+    def test_shutdown_fails_still_queued_jobs(self):
+        svc = GridAnalysisService(ServiceConfig(workers=1))
+        svc.register_grid("g1", SMALL)
+        job = svc.submit("sweep", "g1", {})
+        # Never started: close() must not hang, and the queued job must
+        # not be reported as runnable afterwards.
+        svc.close()
+        assert job.state in ("queued", "failed")
+        with pytest.raises(ReproError):
+            svc.submit("sweep", "g1", {})
+
+
+def test_sweep_results_survive_json_round_trip(service):
+    """The HTTP layer serializes results with json; repr round-trip of
+    Python floats is exact, so parity holds over the wire too."""
+    import json
+
+    job = service.submit("sweep", "g1", {"scenarios": [{"name": "a"}]})
+    done = service.wait(job.id, timeout=60)
+    row = done.result["scenarios"][0]
+    restored = json.loads(json.dumps(row))
+    assert restored["pillar_v0"] == row["pillar_v0"]
+    assert np.array(restored["pillar_v0"]).dtype == np.float64

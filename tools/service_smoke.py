@@ -1,0 +1,138 @@
+"""End-to-end smoke of the live service: real process, real HTTP.
+
+Starts ``repro serve`` on an ephemeral port, registers a grid, fires a
+burst of compatible sweep jobs plus a Monte Carlo job, and asserts the
+two service-level contracts on ``/metrics``:
+
+* the burst coalesced (``serve.coalesced_columns`` counts merged
+  scenario columns) and the whole run paid exactly **one** plane
+  factorization for the grid (single-flight shared cache);
+* later requests for the same grid were counted as cross-request cache
+  hits.
+
+Finishes by checking that SIGINT shuts the server down cleanly.
+
+Run:  PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from urllib.error import URLError
+from urllib.request import Request, urlopen
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GRID = {"side": 16, "tiers": 2, "seed": 0}
+BURST = 6
+
+
+def call(base: str, method: str, path: str, body: dict | None = None):
+    data = None if body is None else json.dumps(body).encode()
+    request = Request(
+        base + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--workers", "2", "--batch-window", "0.25",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert "listening on" in line, f"unexpected startup line: {line!r}"
+        base = line.rsplit(" ", 1)[-1].strip()
+        deadline = time.monotonic() + 30
+        while True:
+            try:
+                assert call(base, "GET", "/healthz") == {"status": "ok"}
+                break
+            except URLError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.1)
+
+        info = call(base, "POST", "/grids", {"name": "g1", "spec": GRID})
+        assert info["nodes"] == GRID["side"] ** 2 * GRID["tiers"], info
+
+        # A burst of compatible sweeps inside one batching window.
+        jobs = [
+            call(
+                base, "POST", "/jobs",
+                {
+                    "kind": "sweep", "grid": "g1",
+                    "params": {
+                        "scenarios": [
+                            {"name": "s", "load_scale": 0.8 + 0.05 * k}
+                        ]
+                    },
+                },
+            )
+            for k in range(BURST)
+        ]
+        done = [
+            call(base, "GET", f"/jobs/{job['id']}?wait=120") for job in jobs
+        ]
+        assert all(j["state"] == "done" for j in done), done
+        for j in done:
+            row = j["result"]["scenarios"][0]
+            assert row["converged"] and row["worst_ir_drop"] > 0, row
+
+        # A later request on the same grid: cross-request cache hit.
+        mc = call(
+            base, "POST", "/jobs",
+            {
+                "kind": "mc", "grid": "g1",
+                "params": {"samples": 4, "sigma_width": 0.05, "seed": 1},
+            },
+        )
+        mc_done = call(base, "GET", f"/jobs/{mc['id']}?wait=120")
+        assert mc_done["state"] == "done", mc_done
+
+        metrics = call(base, "GET", "/metrics")
+        counters = metrics["counters"]
+        coalesced = counters.get("serve.coalesced_columns", 0)
+        assert coalesced >= 2, f"burst did not coalesce: {counters}"
+        assert counters.get("serve.cache_cross_request_hits", 0) >= 1, counters
+        # One grid geometry, many requests, exactly one LU.
+        assert metrics["cache"]["factorizations"] == 1, metrics["cache"]
+        assert counters["serve.jobs_done"] == BURST + 1, counters
+
+        proc.send_signal(signal.SIGINT)
+        rc = proc.wait(timeout=30)
+        assert rc == 0, f"serve exited with {rc}"
+        print(
+            f"service smoke OK: {BURST} sweeps + 1 mc, "
+            f"{coalesced} coalesced columns, 1 factorization, clean shutdown"
+        )
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
