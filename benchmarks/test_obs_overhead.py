@@ -25,8 +25,9 @@ import time
 
 from repro import obs
 from repro.core.transient_batch import BatchedTransientSolver
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import MetricsRegistry
-from repro.obs.trace import Tracer
+from repro.obs.trace import SpanEvent, Tracer
 from repro.scenarios import ScenarioSet, load_step_sweep
 
 PAPER_SCALE_CIRCUIT = "C1"
@@ -94,6 +95,67 @@ def test_obs_overhead_smoke(circuit_cache, bench_once, benchmark):
             "series_points": n_series,
             "cost_add_ns": cost_add * 1e9,
             "cost_gate_ns": cost_per_gate * 1e9,
+            "overhead_bound_seconds": overhead_seconds,
+            "workload_seconds": workload_seconds,
+            "overhead_ratio": ratio,
+        }
+    )
+
+
+def test_service_mode_overhead_smoke(circuit_cache, bench_once, benchmark):
+    """The service's *always-on* path stays under the same 2% budget.
+
+    Every service batch runs with tracing enabled (spans feed the
+    flight ring) and a per-job registry forwarding into the process
+    one.  Same deterministic method as above: count one enabled run's
+    actions, multiply by measured unit costs of the service-mode
+    primitives (forwarded counter add, enabled span record, flight-ring
+    append), and bound the sum against the workload wall time.
+    """
+    stack = circuit_cache(PAPER_SCALE_CIRCUIT)
+
+    with obs.session(trace=True, series=False) as tel:
+        run_sweep(stack)
+    n_ops = tel.registry.ops
+    n_spans = len(tel.tracer.events)
+
+    parent = MetricsRegistry()
+    child = MetricsRegistry()
+    child.forward_to = parent
+    cost_add_fwd = _per_call(lambda: child.add("bench.op"))
+
+    enabled = Tracer(enabled=True)
+
+    def record_span():
+        enabled.add_complete("x", 0.0, 0.0)
+        if len(enabled.events) >= 100_000:
+            enabled.clear()
+
+    cost_span = _per_call(record_span, n=100_000)
+
+    flight = FlightRecorder(capacity=4096)
+    event = SpanEvent("x", 0, 0, None, 1)
+    cost_flight = _per_call(lambda: flight.record(event))
+
+    t0 = time.perf_counter()
+    bench_once(run_sweep, stack)
+    workload_seconds = time.perf_counter() - t0
+
+    overhead_seconds = n_ops * cost_add_fwd + n_spans * (cost_span + cost_flight)
+    ratio = overhead_seconds / workload_seconds
+    assert ratio < OVERHEAD_BUDGET, (
+        f"service-mode bound {overhead_seconds * 1e3:.2f} ms is "
+        f"{ratio:.1%} of the {workload_seconds:.2f}s sweep "
+        f"(budget {OVERHEAD_BUDGET:.0%}; {n_ops} forwarded ops, "
+        f"{n_spans} spans through tracer + flight ring)"
+    )
+    benchmark.extra_info.update(
+        {
+            "registry_ops": n_ops,
+            "span_events": n_spans,
+            "cost_add_forwarded_ns": cost_add_fwd * 1e9,
+            "cost_span_record_ns": cost_span * 1e9,
+            "cost_flight_append_ns": cost_flight * 1e9,
             "overhead_bound_seconds": overhead_seconds,
             "workload_seconds": workload_seconds,
             "overhead_ratio": ratio,

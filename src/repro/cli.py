@@ -714,8 +714,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         cache_bytes=args.cache_bytes,
         default_timeout=args.job_timeout,
+        flight_dump_dir=args.flight_dump,
     )
-    serve_http(GridAnalysisService(config), host=args.host, port=args.port)
+    service = GridAnalysisService(
+        config, log_stream=sys.stdout if args.log_json else None
+    )
+    # Under --profile the generic session wrapper in main() is active:
+    # worker batches detect the enabled process tracer and merge their
+    # spans into it, so the flushed trace covers the service lifetime.
+    serve_http(service, host=args.host, port=args.port)
     return 0
 
 
@@ -1128,6 +1135,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--job-timeout", type=float, default=None,
         help="default per-job execution timeout (s)",
     )
+    p.add_argument(
+        "--flight-dump", metavar="DIR", default=None,
+        help="write a flight-recorder Chrome trace to DIR for every "
+        "failed or timed-out job",
+    )
+    p.add_argument(
+        "--log-json", action="store_true",
+        help="stream structured JSON access/job logs (one object per "
+        "line, correlation id on each) to stdout",
+    )
+    _add_profile_argument(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("phases", help="E10: VP phase breakdown")
@@ -1180,8 +1198,19 @@ def main(argv: list[str] | None = None) -> int:
             finally:
                 # A failing command is exactly the run a trace is wanted
                 # for: flush the partial trace before the error surfaces.
+                # Lane labels only when several threads recorded (a
+                # profiled `repro serve` run); single-threaded traces
+                # stay in the classic one-lane shape.
+                names = (
+                    tel.tracer.thread_names
+                    if len(tel.tracer.thread_names) > 1
+                    else None
+                )
                 obs.write_chrome_trace(
-                    profile_path, tel.tracer.events, tel.registry.snapshot()
+                    profile_path,
+                    tel.tracer.events,
+                    tel.registry.snapshot(),
+                    thread_names=names,
                 )
                 print(f"\nprofile: trace written to {profile_path}")
             print(obs.render_profile(tel))

@@ -1,13 +1,16 @@
 """Trace exporters: Chrome trace-event JSON (Perfetto) and flat CSV.
 
-The tracer records *flat* completed spans (absolute start, duration).
-All engines are single-threaded on one monotonic clock, so temporal
-containment is the nesting relation; :func:`walk_events` recovers the
-span tree with a single stack walk over events sorted by start time
-(ties broken longest-first so an enclosing span opens before the span
-it contains).  That one walk feeds both exporters and the summary
-aggregation, guaranteeing the B/E stream Perfetto loads and the
-self-time attribution in ``repro profile`` agree by construction.
+The tracer records *flat* completed spans (absolute start, duration,
+recording thread id).  Within one thread all spans share one monotonic
+clock, so temporal containment is the nesting relation;
+:func:`walk_events` recovers each thread's span tree with a stack walk
+over that thread's events sorted by start time (ties broken
+longest-first so an enclosing span opens before the span it contains).
+Events from different threads walk in separate lanes -- a service worker
+pool reporting into one tracer cannot corrupt another worker's nesting.
+That one walk feeds both exporters and the summary aggregation,
+guaranteeing the B/E stream Perfetto loads and the self-time
+attribution in ``repro profile`` agree by construction.
 """
 
 from __future__ import annotations
@@ -19,61 +22,105 @@ from typing import Iterable, Iterator
 from repro.obs.trace import SpanEvent
 
 
-def walk_events(events: Iterable[SpanEvent]) -> Iterator[tuple[str, SpanEvent, int]]:
-    """Yield ("B"|"E", event, depth) in chronological begin/end order.
+def _lanes(events: Iterable[SpanEvent]) -> list[list[SpanEvent]]:
+    """Events grouped by recording thread, each lane sorted by start
+    (longest-first on ties), lanes ordered by earliest event."""
+    by_tid: dict[int, list[SpanEvent]] = {}
+    for event in events:
+        by_tid.setdefault(event.tid, []).append(event)
+    lanes = [
+        sorted(group, key=lambda e: (e.t0_ns, -e.dur_ns))
+        for group in by_tid.values()
+    ]
+    lanes.sort(key=lambda lane: lane[0].t0_ns)
+    return lanes
 
-    Opens spans in start order; before opening one, closes every open
-    span that ended at or before its start.  Depth is the nesting level
-    at the moment the phase applies (0 = top level).
+
+def walk_events(events: Iterable[SpanEvent]) -> Iterator[tuple[str, SpanEvent, int]]:
+    """Yield ("B"|"E", event, depth) in begin/end order, lane by lane.
+
+    Within each thread's lane: opens spans in start order; before
+    opening one, closes every open span that ended at or before its
+    start.  Depth is the nesting level at the moment the phase applies
+    (0 = top level).  The walk finishes one thread's events before
+    starting the next, so cross-thread overlap never distorts depths.
     """
-    stack: list[SpanEvent] = []
-    for event in sorted(events, key=lambda e: (e.t0_ns, -e.dur_ns)):
-        while stack and stack[-1].end_ns <= event.t0_ns:
+    for lane in _lanes(events):
+        stack: list[SpanEvent] = []
+        for event in lane:
+            while stack and stack[-1].end_ns <= event.t0_ns:
+                closed = stack.pop()
+                yield "E", closed, len(stack)
+            yield "B", event, len(stack)
+            stack.append(event)
+        while stack:
             closed = stack.pop()
             yield "E", closed, len(stack)
-        yield "B", event, len(stack)
-        stack.append(event)
-    while stack:
-        closed = stack.pop()
-        yield "E", closed, len(stack)
 
 
-def chrome_trace(events: Iterable[SpanEvent], metrics: dict | None = None) -> dict:
+def chrome_trace(
+    events: Iterable[SpanEvent],
+    metrics: dict | None = None,
+    thread_names: dict[int, str] | None = None,
+) -> dict:
     """Trace-event JSON object (Perfetto/chrome://tracing loadable).
 
     Timestamps are microseconds relative to the earliest span, emitted
-    as sorted duration-begin/end ("B"/"E") pairs on one pid/tid.  The
-    metrics snapshot, when given, rides along as a top-level key --
-    viewers ignore unknown keys, tooling gets counters for free.
+    as duration-begin/end ("B"/"E") pairs sorted by timestamp.  Each
+    recording thread gets its own ``tid`` lane (small indices in order
+    of first activity, not raw OS ids); when ``thread_names`` is given,
+    ``thread_name`` metadata events label the lanes.  The metrics
+    snapshot, when given, rides along as a top-level key -- viewers
+    ignore unknown keys, tooling gets counters for free.
     """
     events = list(events)
     origin_ns = min((e.t0_ns for e in events), default=0)
+    lane_index: dict[int, int] = {}
     trace_events = []
     for phase, event, _depth in walk_events(events):
+        lane = lane_index.setdefault(event.tid, len(lane_index) + 1)
         ts_ns = event.t0_ns if phase == "B" else event.end_ns
         record = {
             "name": event.name,
             "ph": phase,
             "ts": (ts_ns - origin_ns) / 1e3,
             "pid": 1,
-            "tid": 1,
+            "tid": lane,
         }
         if phase == "B" and event.attrs:
             record["args"] = dict(event.attrs)
         trace_events.append(record)
+    trace_events.sort(key=lambda r: r["ts"])
+    if thread_names:
+        meta = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": lane,
+                "args": {"name": thread_names.get(tid, f"thread-{tid}")},
+            }
+            for tid, lane in sorted(lane_index.items(), key=lambda kv: kv[1])
+        ]
+        trace_events = meta + trace_events
     out = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
     if metrics is not None:
         out["metrics"] = metrics
     return out
 
 
-def write_chrome_trace(path, events: Iterable[SpanEvent], metrics: dict | None = None) -> None:
+def write_chrome_trace(
+    path,
+    events: Iterable[SpanEvent],
+    metrics: dict | None = None,
+    thread_names: dict[int, str] | None = None,
+) -> None:
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(chrome_trace(events, metrics), fh, indent=1)
+        json.dump(chrome_trace(events, metrics, thread_names), fh, indent=1)
         fh.write("\n")
 
 
-_CSV_FIELDS = ("name", "t0_ns", "dur_ns", "attrs")
+_CSV_FIELDS = ("name", "t0_ns", "dur_ns", "attrs", "tid")
 
 
 def write_csv_trace(path, events: Iterable[SpanEvent]) -> None:
@@ -83,7 +130,7 @@ def write_csv_trace(path, events: Iterable[SpanEvent]) -> None:
         writer.writerow(_CSV_FIELDS)
         for e in sorted(events, key=lambda e: (e.t0_ns, -e.dur_ns)):
             writer.writerow(
-                [e.name, e.t0_ns, e.dur_ns, json.dumps(e.attrs) if e.attrs else ""]
+                [e.name, e.t0_ns, e.dur_ns, json.dumps(e.attrs) if e.attrs else "", e.tid]
             )
 
 
@@ -94,8 +141,8 @@ def read_csv_trace(path) -> list[SpanEvent]:
         if tuple(header) != _CSV_FIELDS:
             raise ValueError(f"not a repro trace CSV: header {header!r}")
         return [
-            SpanEvent(name, int(t0), int(dur), json.loads(attrs) if attrs else None)
-            for name, t0, dur, attrs in reader
+            SpanEvent(name, int(t0), int(dur), json.loads(attrs) if attrs else None, int(tid))
+            for name, t0, dur, attrs, tid in reader
         ]
 
 
@@ -103,8 +150,9 @@ def span_summary(events: Iterable[SpanEvent]) -> dict[str, dict]:
     """Per-name aggregation: count, total and self wall time, extremes.
 
     Self time subtracts each span's direct children (found by the same
-    stack walk the exporters use), so a phase table sums to wall clock
-    without double-counting nested spans.
+    per-lane stack walk the exporters use), so a phase table sums to
+    wall clock without double-counting nested spans -- even when the
+    spans came from several worker threads.
     """
     events = list(events)
     child_ns: dict[int, int] = {}

@@ -1,0 +1,102 @@
+"""Flight recorder: an always-on bounded ring of recent spans.
+
+Tracing proper is opt-in (``--profile``) because an unbounded event
+list cannot run forever.  The flight recorder closes the gap for the
+service: it keeps the **last N spans** in a ``deque(maxlen=...)`` ring,
+so memory is bounded by capacity, not uptime, and recording stays an
+O(1) locked append.  When a job fails or times out -- precisely when
+nobody thought to profile in advance -- the service dumps the ring (or
+the job's own attached spans) as a Chrome trace that Perfetto loads
+directly, answering "what was the process doing just before this
+broke?" from artifacts alone.
+
+Capacity sizing: a coalesced sweep batch records a handful of spans per
+job plus a few hundred solver phases; the default 4096 holds several
+seconds of busy-service history at <1 MB (SpanEvents are slotted,
+attrs usually None).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterable
+
+from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.trace import SpanEvent
+
+DEFAULT_CAPACITY = 4096
+
+
+class FlightRecorder:
+    """Bounded ring of recent :class:`SpanEvent` records.
+
+    Thread-safe: the service's workers all append into one recorder.
+    ``record``/``extend`` never grow memory past ``capacity`` -- the
+    deque drops the oldest span on overflow (counted in ``dropped``).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[SpanEvent] = deque(maxlen=capacity)
+        self.thread_names: dict[int, str] = {}
+        self.recorded = 0
+        self._lock = threading.Lock()
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the ring bound so far."""
+        with self._lock:
+            return max(0, self.recorded - len(self._ring))
+
+    def record(self, event: SpanEvent) -> None:
+        with self._lock:
+            self._ring.append(event)
+            self.recorded += 1
+            if event.tid not in self.thread_names:
+                self.thread_names[event.tid] = f"thread-{event.tid}"
+
+    def extend(self, events: Iterable[SpanEvent], thread_names: dict[int, str] | None = None) -> None:
+        """Absorb a batch of finished spans (one locked pass)."""
+        with self._lock:
+            for event in events:
+                self._ring.append(event)
+                self.recorded += 1
+            if thread_names:
+                for tid, name in thread_names.items():
+                    self.thread_names.setdefault(tid, name)
+
+    def snapshot(self) -> list[SpanEvent]:
+        """Copy of the current ring contents, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def snapshot_names(self) -> dict[int, str]:
+        with self._lock:
+            return dict(self.thread_names)
+
+    def chrome_trace(self, metrics: dict | None = None) -> dict:
+        """Perfetto-loadable trace of the current ring."""
+        with self._lock:
+            events = list(self._ring)
+            names = dict(self.thread_names)
+        return chrome_trace(events, metrics, thread_names=names)
+
+    def dump(self, path, metrics: dict | None = None) -> None:
+        """Write the current ring as a Chrome trace JSON file."""
+        with self._lock:
+            events = list(self._ring)
+            names = dict(self.thread_names)
+        write_chrome_trace(path, events, metrics, thread_names=names)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self.thread_names.clear()
+            self.recorded = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)

@@ -1,0 +1,77 @@
+"""Structured JSON logging: one event per line, correlation id on each.
+
+The service writes two log streams through one :class:`JsonLogger`:
+
+* **access** events -- one per HTTP request (method, path, status,
+  duration);
+* **job** events -- one per lifecycle transition (submitted, started,
+  done, failed, cancelled, expired) with the job's latency phases.
+
+Every line is a self-contained JSON object with ``event``, ``ts``
+(epoch seconds), and -- whenever the event concerns a job -- ``cid``,
+the correlation id minted at submission.  Grepping a cid therefore
+yields the job's complete story across both streams, which is the
+debugging workflow the correlation id exists for
+(docs/observability.md).
+
+Stdlib-only by design: ``logging`` handlers, formatters and
+propagation add configuration surface the service does not need; a
+locked ``write`` + ``flush`` on a text stream is the whole feature.
+A ``JsonLogger(stream=None)`` swallows events at the cost of one
+``if`` -- callers never guard.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+
+class JsonLogger:
+    """Line-oriented JSON event writer (thread-safe, optionally off)."""
+
+    def __init__(self, stream=None, *, clock=time.time):
+        self.stream = stream
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.stream is not None
+
+    def log(self, event: str, cid: str | None = None, **fields) -> None:
+        """Emit one event line.  ``cid`` is the correlation id; pass it
+        for every job-related event so lines join up across streams."""
+        if self.stream is None:
+            return
+        record: dict = {"ts": round(self._clock(), 6), "event": event}
+        if cid is not None:
+            record["cid"] = cid
+        record.update(fields)
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        with self._lock:
+            self.stream.write(line + "\n")
+            try:
+                self.stream.flush()
+            except (ValueError, OSError):  # closed stream at shutdown
+                pass
+
+    def access(self, method: str, path: str, status: int, dur_seconds: float,
+               cid: str | None = None, **fields) -> None:
+        self.log(
+            "http.access",
+            cid=cid,
+            method=method,
+            path=path,
+            status=status,
+            dur_ms=round(dur_seconds * 1e3, 3),
+            **fields,
+        )
+
+    def job(self, transition: str, cid: str, job_id: str, **fields) -> None:
+        self.log(f"job.{transition}", cid=cid, job=job_id, **fields)
+
+
+#: Shared do-nothing logger for call sites without a configured stream.
+NULL_LOGGER = JsonLogger(stream=None)

@@ -79,6 +79,20 @@ def render_profile(tel: Telemetry) -> str:
                 "histograms\n"
                 + _ascii_table(["histogram", "count", "mean", "min", "max"], rows)
             )
+    if reg.bucket_histograms:
+        rows = []
+        for name, family in sorted(reg.bucket_histograms.items()):
+            for key, child in sorted(family.children.items()):
+                label = name if not key else f"{name}{{{','.join(key)}}}"
+                if child.count:
+                    rows.append(
+                        [label, child.count, child.total / child.count, child.min, child.max]
+                    )
+        if rows:
+            sections.append(
+                "latency histograms\n"
+                + _ascii_table(["histogram", "count", "mean", "min", "max"], rows)
+            )
     if reg.series_store:
         rows = [
             [name, len(s), s.values[-1] if s.values else None]

@@ -11,6 +11,17 @@ duration of a profiled run (the ``--profile`` flag and ``repro profile``
 subcommand do exactly this), isolating its counters and spans from
 whatever accumulated before.
 
+Two stacks, two scopes:
+
+* the **process stack** (``session()``) is what single-threaded CLI runs
+  use -- one session active for everyone;
+* a **thread-local overlay** (``scoped(tel)``) lets a service worker run
+  one job inside its own session without disturbing the sessions other
+  worker threads (or the main thread) see.  :func:`active` consults the
+  overlay first, so engine code is oblivious; :func:`current_global`
+  skips the overlay for code that must reach the process-wide session
+  (e.g. forwarding a finished job's spans into a ``--profile`` trace).
+
 Engines follow one idiom::
 
     tr = obs.tracer()          # hoisted once per solve, not per step
@@ -27,6 +38,7 @@ only when it is not None.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
@@ -47,17 +59,35 @@ class Telemetry:
 # accumulate process-wide, tracing and series capture stay off.
 _active: list[Telemetry] = [Telemetry()]
 
+# Per-thread overlay for service workers running scoped job sessions.
+_tls = threading.local()
+
+
+def _overlay() -> list[Telemetry]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
 
 def active() -> Telemetry:
+    stack = getattr(_tls, "stack", None)
+    if stack:
+        return stack[-1]
+    return _active[-1]
+
+
+def current_global() -> Telemetry:
+    """The process-wide session, ignoring any thread-local overlay."""
     return _active[-1]
 
 
 def metrics() -> MetricsRegistry:
-    return _active[-1].registry
+    return active().registry
 
 
 def tracer() -> Tracer:
-    return _active[-1].tracer
+    return active().tracer
 
 
 @contextmanager
@@ -75,27 +105,54 @@ def session(*, trace: bool = True, series: bool = True):
         _active.pop()
 
 
+@contextmanager
+def scoped(tel: Telemetry):
+    """Make ``tel`` the active session *for the current thread only*.
+
+    This is how the service attributes work to jobs: each worker wraps a
+    job's execution in ``scoped(job_tel)`` so every engine-level counter
+    and span lands in the job's own registry/tracer, while other threads
+    keep seeing the process session.  Typically ``tel.registry.forward_to``
+    points at the process registry so service-wide totals stay monotonic.
+    """
+    stack = _overlay()
+    stack.append(tel)
+    try:
+        yield tel
+    finally:
+        stack.pop()
+
+
 # -- convenience wrappers over the active session ------------------------
 
 def span(name: str, **attrs):
-    return _active[-1].tracer.span(name, **attrs)
+    return active().tracer.span(name, **attrs)
 
 
 def add(name: str, n: int = 1) -> None:
-    _active[-1].registry.add(name, n)
+    active().registry.add(name, n)
 
 
 def set_gauge(name: str, value: float) -> None:
-    _active[-1].registry.set_gauge(name, value)
+    active().registry.set_gauge(name, value)
 
 
 def observe(name: str, value: float) -> None:
-    _active[-1].registry.observe(name, value)
+    active().registry.observe(name, value)
+
+
+def observe_bucket(name: str, value: float, labels: dict | None = None) -> None:
+    active().registry.observe_bucket(name, value, labels)
+
+
+def add_labeled(name: str, labels: dict, n: int = 1) -> None:
+    active().registry.add_labeled(name, labels, n)
 
 
 def record_series(name: str, step: float, value: float) -> None:
-    if _active[-1].series_enabled:
-        _active[-1].registry.record(name, step, value)
+    tel = active()
+    if tel.series_enabled:
+        tel.registry.record(name, step, value)
 
 
 def active_series(name: str) -> Series | None:
@@ -104,7 +161,7 @@ def active_series(name: str) -> Series | None:
     Inner solvers hoist this once outside their iteration loop; the
     per-iteration cost when capture is off is a None check.
     """
-    tel = _active[-1]
+    tel = active()
     if not tel.series_enabled:
         return None
     return tel.registry.series(name)
@@ -131,7 +188,7 @@ class Stopwatch:
 
     def __exit__(self, *exc):
         self.seconds = time.perf_counter() - self._t0
-        tr = _active[-1].tracer
+        tr = active().tracer
         if tr.enabled:
             tr.add_complete(self.name, self._t0, self.seconds, **self.attrs)
         return False

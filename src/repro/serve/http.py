@@ -1,24 +1,37 @@
 """Stdlib HTTP/JSON transport for :class:`GridAnalysisService`.
 
-A deliberately small REST surface (every body and response is JSON;
-see docs/service.md for examples):
+A deliberately small REST surface (every body and response is JSON
+unless noted; see docs/service.md for examples):
 
-================  ======  ===============================================
-Path              Method  Meaning
-================  ======  ===============================================
-``/healthz``      GET     liveness probe
-``/grids``        GET     registered grid names
-``/grids``        POST    ``{"name": ..., "spec": {...}}`` -> grid info
-``/jobs``         GET     all job status records
-``/jobs``         POST    ``{"kind", "grid", "params", "timeout"}`` ->
-                          202 + job record; **429** when the queue is
-                          full (backpressure -- retry later)
-``/jobs/<id>``    GET     job record (+ result when done); ``?wait=S``
-                          blocks up to S seconds for a terminal state
-``/jobs/<id>``    DELETE  cancel (queued: immediate; running:
-                          best-effort)
-``/metrics``      GET     service/cache/queue metrics snapshot
-================  ======  ===============================================
+=====================  ======  ==========================================
+Path                   Method  Meaning
+=====================  ======  ==========================================
+``/healthz``           GET     liveness probe
+``/grids``             GET     registered grid names
+``/grids``             POST    ``{"name": ..., "spec": {...}}`` -> grid
+                               info
+``/jobs``              GET     all job status records
+``/jobs``              POST    ``{"kind", "grid", "params", "timeout"}``
+                               -> 202 + job record; **429** when the
+                               queue is full (backpressure -- retry
+                               later)
+``/jobs/<id>``         GET     job record (+ result when done, latency
+                               phases always); ``?wait=S`` blocks up to
+                               S seconds for a terminal state
+``/jobs/<id>/trace``   GET     Perfetto-loadable Chrome trace of the
+                               job's execution spans (flight-ring
+                               fallback before execution)
+``/jobs/<id>``         DELETE  cancel (queued: immediate; running:
+                               best-effort)
+``/metrics``           GET     service/cache/queue metrics snapshot;
+                               ``?format=prometheus`` returns text
+                               exposition instead of JSON
+=====================  ======  ==========================================
+
+Correlation: every response about a specific job carries its
+correlation id in the ``X-Repro-Cid`` header (also in the JSON body as
+``cid``), and every request emits one structured JSON access-log line
+with the same id -- see docs/observability.md for the lifecycle.
 
 Built on ``http.server.ThreadingHTTPServer`` -- one thread per
 connection, which is fine because handlers only enqueue work and read
@@ -54,13 +67,35 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep stdout clean; observability goes through repro.obs
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(
+        self,
+        status: int,
+        payload: dict,
+        *,
+        cid: str | None = None,
+        extra_headers: dict | None = None,
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if cid:
+            self.send_header("X-Repro-Cid", cid)
+            self._cid = cid
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, value)
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._status = status
 
     def _error(self, status: int, message: str) -> None:
         self._send(status, {"error": message})
@@ -80,16 +115,48 @@ class _Handler(BaseHTTPRequestHandler):
             raise ReproError("request body must be a JSON object")
         return body
 
+    def _begin(self) -> float:
+        obs.add("serve.http_requests")
+        self._status = 0
+        self._cid: str | None = None
+        return time.perf_counter()
+
+    def _access(self, method: str, t0: float) -> None:
+        dur = time.perf_counter() - t0
+        obs.add_labeled(
+            "serve.http_responses",
+            {"method": method, "status": str(self._status)},
+        )
+        obs.observe_bucket(
+            "serve.http_seconds", dur, {"method": method}
+        )
+        self.service.log.access(
+            method, self.path, self._status, dur, cid=self._cid
+        )
+
     # -- routes ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        t0 = self._begin()
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
-        obs.add("serve.http_requests")
         try:
             if parts == ["healthz"]:
                 self._send(200, {"status": "ok"})
             elif parts == ["metrics"]:
-                self._send(200, self.service.metrics())
+                query = parse_qs(url.query)
+                fmt = query.get("format", ["json"])[0]
+                if fmt == "prometheus":
+                    self._send_text(
+                        200,
+                        self.service.prometheus(),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                elif fmt == "json":
+                    self._send(200, self.service.metrics())
+                else:
+                    raise ReproError(
+                        f"unknown metrics format {fmt!r}; use json or prometheus"
+                    )
             elif parts == ["grids"]:
                 self._send(
                     200,
@@ -107,28 +174,33 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif len(parts) == 2 and parts[0] == "jobs":
                 self._get_job(parts[1], parse_qs(url.query))
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+                job = self.service.queue.get(parts[1])
+                self._send(200, self.service.job_trace(parts[1]), cid=job.cid)
             else:
                 self._error(404, f"no route for GET {url.path}")
         except (UnknownJobError, UnknownGridError) as exc:
             self._error(404, str(exc))
         except ReproError as exc:
             self._error(400, str(exc))
+        finally:
+            self._access("GET", t0)
 
     def _get_job(self, job_id: str, query: dict) -> None:
         wait = float(query.get("wait", ["0"])[0])
         deadline = time.monotonic() + min(wait, 300.0)
         while True:
-            self.service.queue.expire()
+            self.service.expire()
             job = self.service.queue.get(job_id)
             if job.state in JobState.TERMINAL or time.monotonic() >= deadline:
                 break
             time.sleep(0.005)
-        self._send(200, job.describe(include_result=True))
+        self._send(200, job.describe(include_result=True), cid=job.cid)
 
     def do_POST(self) -> None:  # noqa: N802
+        t0 = self._begin()
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
-        obs.add("serve.http_requests")
         try:
             body = self._body()
             if parts == ["grids"]:
@@ -149,37 +221,39 @@ class _Handler(BaseHTTPRequestHandler):
                     body.get("params") or {},
                     timeout=None if timeout is None else float(timeout),
                 )
-                self._send(202, job.describe())
+                self.service.log.job(
+                    "submitted", job.cid, job.id, kind=job.kind, grid=job.grid
+                )
+                self._send(202, job.describe(), cid=job.cid)
             else:
                 self._error(404, f"no route for POST {url.path}")
         except QueueFullError as exc:
             # The backpressure contract: full queue -> 429, client backs
             # off and retries.  Nothing was enqueued.
-            self.send_response_only(429)
-            body = json.dumps({"error": str(exc)}).encode()
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.send_header("Retry-After", "1")
-            self.end_headers()
-            self.wfile.write(body)
+            self._send(429, {"error": str(exc)}, extra_headers={"Retry-After": "1"})
         except UnknownGridError as exc:
             self._error(404, str(exc))
         except ReproError as exc:
             self._error(400, str(exc))
+        finally:
+            self._access("POST", t0)
 
     def do_DELETE(self) -> None:  # noqa: N802
+        t0 = self._begin()
         parts = [p for p in urlparse(self.path).path.split("/") if p]
-        obs.add("serve.http_requests")
         try:
             if len(parts) == 2 and parts[0] == "jobs":
                 job = self.service.queue.cancel(parts[1])
-                self._send(200, job.describe())
+                self.service._log_terminal(job)
+                self._send(200, job.describe(), cid=job.cid)
             else:
                 self._error(404, f"no route for DELETE {self.path}")
         except UnknownJobError as exc:
             self._error(404, str(exc))
         except ReproError as exc:
             self._error(400, str(exc))
+        finally:
+            self._access("DELETE", t0)
 
 
 def make_http_server(

@@ -19,6 +19,19 @@ contracts:
 * **Cancellation.**  Queued jobs cancel immediately (removed from the
   deque); running jobs are marked and their results dropped when the
   worker finishes (best-effort, documented in docs/service.md).
+* **Correlation.**  Every job carries a correlation id (``cid``) minted
+  at submission; the HTTP layer returns it in ``X-Repro-Cid`` and the
+  JSON log streams stamp it on every line, so one grep reconstructs a
+  job's full story (docs/observability.md).
+* **Latency phases.**  Each job records a ``perf_counter`` timeline --
+  submitted, picked up by the dispatcher, execution start on a worker,
+  finished -- from which the queue derives **queue-wait** (submit ->
+  dispatcher pop), **coalesce-wait** (pop -> worker execution),
+  **solve** (execution), and **total**.  Phases land in the
+  ``serve.job_phase_seconds{phase,kind}`` bucket histogram (Prometheus
+  exposition) and in the job record itself (``GET /jobs/<id>``), so a
+  slow job is attributable to queueing vs. batching vs. solving from
+  artifacts alone.
 * **Observability.**  Queue depth is published as the
   ``serve.queue_depth`` gauge on every transition; terminal states
   count into ``serve.jobs_done`` / ``serve.jobs_failed`` /
@@ -30,6 +43,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import uuid
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -55,11 +69,18 @@ class UnknownJobError(ReproError):
     """No job with the requested id."""
 
 
+def _new_cid() -> str:
+    return uuid.uuid4().hex[:16]
+
+
 @dataclass
 class Job:
     """One submitted unit of work and its observable lifecycle record.
 
     Mutable fields are only written under the owning queue's lock.
+    Wall-clock stamps (``*_at``) are for humans and logs; the parallel
+    ``perf_counter`` stamps (``*_pc``) are for latency math -- they share
+    the tracer's clock, so phase durations line up with spans exactly.
     """
 
     id: str
@@ -67,37 +88,79 @@ class Job:
     grid: str
     params: dict
     timeout: float | None = None
+    #: Correlation id: minted at submission, echoed on HTTP responses
+    #: and every log line about this job.
+    cid: str = field(default_factory=_new_cid)
     #: Coalescing compatibility key (None = never coalesced).
     coalesce_key: tuple | None = None
     state: str = JobState.QUEUED
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
+    #: When a worker actually began executing (started_at marks the
+    #: dispatcher pop; the gap between them is the coalescing window).
+    exec_started_at: float | None = None
     finished_at: float | None = None
+    submitted_pc: float = field(default_factory=time.perf_counter)
+    started_pc: float | None = None
+    exec_started_pc: float | None = None
+    finished_pc: float | None = None
     error: str | None = None
     result: dict | None = None
     #: Columns this job contributed to a merged multi-RHS solve, and how
     #: many sibling jobs rode in the same batch (1 = solved alone).
     batch_jobs: int = 0
     cancel_requested: bool = False
+    #: Spans recorded while executing this job (its scoped telemetry
+    #: session), attached by the worker for ``GET /jobs/<id>/trace``.
+    spans: list = field(default_factory=list)
+    span_thread_names: dict = field(default_factory=dict)
+    #: Whether the service already emitted this job's terminal log line
+    #: (a timed-out job hits the terminal path twice: expire + worker).
+    log_emitted: bool = field(default=False, repr=False)
+
+    def latency(self) -> dict:
+        """Phase durations (seconds) known so far; None = not reached."""
+        def gap(a: float | None, b: float | None) -> float | None:
+            if a is None or b is None:
+                return None
+            return max(0.0, b - a)
+
+        return {
+            "queue_wait": gap(self.submitted_pc, self.started_pc),
+            "coalesce_wait": gap(self.started_pc, self.exec_started_pc),
+            "solve": gap(self.exec_started_pc, self.finished_pc),
+            "total": gap(self.submitted_pc, self.finished_pc),
+        }
 
     def describe(self, *, include_result: bool = False) -> dict:
         """JSON-ready status record."""
         record = {
             "id": self.id,
+            "cid": self.cid,
             "kind": self.kind,
             "grid": self.grid,
             "state": self.state,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
+            "exec_started_at": self.exec_started_at,
             "finished_at": self.finished_at,
             "timeout": self.timeout,
             "batch_jobs": self.batch_jobs,
+            "latency": self.latency(),
         }
         if self.error is not None:
             record["error"] = self.error
         if include_result and self.result is not None:
             record["result"] = self.result
         return record
+
+
+def _observe_phase(phase: str, kind: str, seconds: float | None) -> None:
+    if seconds is None:
+        return
+    obs.observe_bucket(
+        "serve.job_phase_seconds", seconds, {"phase": phase, "kind": kind}
+    )
 
 
 class JobQueue:
@@ -178,7 +241,7 @@ class JobQueue:
     def pop_compatible(self, key: tuple, timeout: float) -> Job | None:
         """Block up to ``timeout`` for a queued job whose coalesce key
         matches ``key``; other jobs stay queued (the batching window is
-        short, see :class:`repro.serve.coalesce.Coalescer`)."""
+        short, see the dispatcher loop)."""
         deadline = time.monotonic() + timeout
         with self._cond:
             while True:
@@ -195,10 +258,33 @@ class JobQueue:
     def _mark_running(self, job: Job) -> None:
         job.state = JobState.RUNNING
         job.started_at = time.time()
+        job.started_pc = time.perf_counter()
         self._running.add(job.id)
         self._publish_depth()
+        _observe_phase("queue_wait", job.kind, job.latency()["queue_wait"])
 
     # -- worker side -----------------------------------------------------
+    def mark_executing(self, job: Job) -> None:
+        """Stamp worker-execution start (the end of the coalescing
+        window for batched jobs; immediate for everything else)."""
+        with self._cond:
+            if job.exec_started_pc is not None:
+                return
+            job.exec_started_at = time.time()
+            job.exec_started_pc = time.perf_counter()
+        _observe_phase(
+            "coalesce_wait", job.kind, job.latency()["coalesce_wait"]
+        )
+
+    def attach_spans(self, job: Job, events: list, thread_names: dict | None = None) -> None:
+        """Attach the spans a worker recorded while executing ``job``
+        (serves ``GET /jobs/<id>/trace``).  Harmless after a timeout:
+        the terminal state stays, the trace just gets richer."""
+        with self._cond:
+            job.spans = list(events)
+            if thread_names:
+                job.span_thread_names = dict(thread_names)
+
     def finish(self, job: Job, result: dict) -> None:
         """Complete a job -- unless it was cancelled or timed out while
         running, in which case the result is dropped (the observed state
@@ -229,6 +315,7 @@ class JobQueue:
     def _finalize(self, job: Job, state: str) -> None:
         job.state = state
         job.finished_at = time.time()
+        job.finished_pc = time.perf_counter()
         obs.add(
             {
                 JobState.DONE: "serve.jobs_done",
@@ -236,6 +323,9 @@ class JobQueue:
                 JobState.CANCELLED: "serve.jobs_cancelled",
             }[state]
         )
+        latency = job.latency()
+        _observe_phase("solve", job.kind, latency["solve"])
+        _observe_phase("total", job.kind, latency["total"])
 
     # -- control plane ---------------------------------------------------
     def cancel(self, job_id: str) -> Job:

@@ -30,11 +30,19 @@ head-of-line blocking, documented in docs/service.md).
 
 Observability
 -------------
-Every job runs under a ``serve.job`` span; the service maintains
-``serve.*`` counters (submissions, terminal states, rejections,
-coalesced batches/columns, cross-request cache hits) and the
-``serve.queue_depth`` gauge, all readable through :meth:`metrics` (the
-``/metrics`` endpoint).
+Every batch executes inside its own telemetry session
+(:func:`repro.obs.scoped`), so engine spans and counters attribute to
+the job(s) being run: counters forward into the process registry
+(service-wide totals stay monotonic), spans attach to each job for
+``GET /jobs/<id>/trace``, feed the always-on :class:`FlightRecorder`
+ring, and -- when ``repro serve --profile`` is active -- merge into the
+service-lifetime trace.  Queue-wait / coalesce-wait / solve / total
+phases land in the ``serve.job_phase_seconds{phase,kind}`` bucket
+histogram; :meth:`metrics` renders the JSON snapshot and
+:meth:`prometheus` the text exposition behind
+``/metrics?format=prometheus``.  Job lifecycle transitions stream as
+JSON log lines keyed by correlation id, and failed or timed-out jobs
+dump a flight-recorder Chrome trace when ``flight_dump_dir`` is set.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro import obs
 from repro.core.batch import BatchedVPConfig, BatchedVPSolver
@@ -79,12 +88,19 @@ class ServiceConfig:
     cache_bytes: int | None = None
     #: Default per-job execution timeout (seconds; None = no timeout).
     default_timeout: float | None = None
+    #: Flight-recorder ring size (recent spans kept for crash forensics).
+    flight_capacity: int = 4096
+    #: Directory receiving flight-recorder Chrome-trace dumps for failed
+    #: or timed-out jobs (None = no automatic dumps).
+    flight_dump_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ReproError("workers must be >= 1")
         if self.batch_window < 0:
             raise ReproError("batch_window must be >= 0")
+        if self.flight_capacity < 1:
+            raise ReproError("flight_capacity must be >= 1")
 
 
 def _scenario_from_params(spec: dict) -> Scenario:
@@ -142,13 +158,17 @@ class GridAnalysisService:
             result = service.wait(job.id)
     """
 
-    def __init__(self, config: ServiceConfig | None = None):
+    def __init__(self, config: ServiceConfig | None = None, *, log_stream=None):
         self.config = config or ServiceConfig()
         self.cache = PlaneFactorCache(
             max_entries=self.config.cache_entries,
             max_bytes=self.config.cache_bytes,
         )
         self.queue = JobQueue(max_depth=self.config.queue_depth)
+        #: Always-on bounded ring of recent spans (crash forensics).
+        self.flight = obs.FlightRecorder(capacity=self.config.flight_capacity)
+        #: Structured JSON job/access log (silent when stream is None).
+        self.log = obs.JsonLogger(log_stream)
         self._grids: dict[str, object] = {}
         self._grids_lock = threading.Lock()
         # Signatures whose factors some earlier request already built:
@@ -289,7 +309,7 @@ class GridAnalysisService:
         HTTP layer exposes the same via ``GET /jobs/<id>?wait=``)."""
         deadline = time.monotonic() + timeout
         while True:
-            self.queue.expire()
+            self.expire()
             job = self.queue.get(job_id)
             if job.state in ("done", "failed", "cancelled"):
                 return job
@@ -302,7 +322,7 @@ class GridAnalysisService:
     # -- dispatcher ------------------------------------------------------
     def _dispatch_loop(self) -> None:
         while not self._stop.is_set():
-            self.queue.expire()
+            self.expire()
             job = self.queue.pop(timeout=0.1)
             if job is None:
                 continue
@@ -334,12 +354,25 @@ class GridAnalysisService:
 
     # -- execution -------------------------------------------------------
     def _run_batch(self, batch: list[Job]) -> None:
+        for job in batch:
+            self.queue.mark_executing(job)
+            self.log.job(
+                "exec", job.cid, job.id,
+                kind=job.kind, grid=job.grid, batch_jobs=len(batch),
+            )
+        # Per-batch telemetry session: every engine span/counter recorded
+        # on this worker attributes to these jobs.  Counters forward into
+        # the process registry live (service totals stay monotonic while
+        # scraped); spans are collected locally, then fanned out below.
+        tel = obs.Telemetry(trace=True)
+        tel.registry.forward_to = obs.current_global().registry
         t0 = time.perf_counter()
         try:
-            if batch[0].kind == "sweep":
-                self._run_sweep_batch(batch)
-            else:
-                self._run_single(batch[0])
+            with obs.scoped(tel):
+                if batch[0].kind == "sweep":
+                    self._run_sweep_batch(batch)
+                else:
+                    self._run_single(batch[0])
         except ReproError as exc:
             for job in batch:
                 self.queue.fail(job, str(exc))
@@ -348,16 +381,68 @@ class GridAnalysisService:
                 self.queue.fail(job, f"{type(exc).__name__}: {exc}")
         finally:
             dt = time.perf_counter() - t0
-            tr = obs.tracer()
-            if tr.enabled:
-                for job in batch:
-                    tr.add_complete(
-                        "serve.job", t0, dt,
-                        job=job.id, kind=job.kind, grid=job.grid,
-                        batch_jobs=len(batch),
-                    )
+            # The shared batch work plus one fan-out span per rider, so a
+            # coalesced job's trace shows both "my batch" and "my share".
+            for job in batch:
+                tel.tracer.add_complete(
+                    "serve.job", t0, dt,
+                    job=job.id, cid=job.cid, kind=job.kind, grid=job.grid,
+                    batch_jobs=len(batch),
+                )
+            events = list(tel.tracer.events)
+            names = dict(tel.tracer.thread_names)
+            self.flight.extend(events, names)
+            profile_tracer = obs.current_global().tracer
+            if profile_tracer.enabled:  # repro serve --profile
+                profile_tracer.extend(events, names)
+            for job in batch:
+                self.queue.attach_spans(job, events, names)
+                self._log_terminal(job)
             obs.observe("serve.job_seconds", dt)
-            self.queue.expire()
+            self.expire()
+
+    def expire(self) -> list[Job]:
+        """Fail overdue running jobs, logging and flight-dumping each."""
+        expired = self.queue.expire()
+        for job in expired:
+            self._log_terminal(job)
+        return expired
+
+    def _log_terminal(self, job: Job) -> None:
+        """Emit the terminal log line and failure dump exactly once."""
+        if job.state not in ("done", "failed", "cancelled") or job.log_emitted:
+            return
+        job.log_emitted = True
+        self.log.job(
+            job.state, job.cid, job.id,
+            kind=job.kind, grid=job.grid, batch_jobs=job.batch_jobs,
+            latency=job.latency(), error=job.error,
+        )
+        if job.state == "failed" and self.config.flight_dump_dir:
+            try:
+                directory = Path(self.config.flight_dump_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                path = directory / f"{job.id}-flight.trace.json"
+                self.flight.dump(path, metrics={"job": job.describe()})
+                self.log.job("flight_dump", job.cid, job.id, path=str(path))
+            except OSError as exc:  # a broken dump dir must not kill workers
+                self.log.job("flight_dump_error", job.cid, job.id, error=str(exc))
+
+    def job_trace(self, job_id: str) -> dict:
+        """Perfetto-loadable Chrome trace for one job.
+
+        Prefers the spans attached by the job's worker; a job that never
+        reached (or never finished) execution falls back to the flight
+        ring, i.e. "what the service was doing around that time"."""
+        job = self.queue.get(job_id)
+        if job.spans:
+            return obs.chrome_trace(
+                job.spans,
+                metrics={"job": job.describe()},
+                thread_names=job.span_thread_names,
+            )
+        trace = self.flight.chrome_trace(metrics={"job": job.describe()})
+        return trace
 
     def _note_cache_use(self, stack) -> None:
         """Count cross-request factor reuse (the service's raison
@@ -679,12 +764,18 @@ class GridAnalysisService:
     def metrics(self) -> dict:
         """One JSON-ready snapshot: obs instruments, cache stats, queue
         state (the ``/metrics`` endpoint)."""
-        snap = obs.metrics().snapshot()
-        return {
+        snap = obs.current_global().registry.snapshot()
+        out = {
             "uptime_seconds": time.time() - self.started_at,
             "counters": snap["counters"],
             "gauges": snap["gauges"],
             "histograms": snap["histograms"],
+            "flight": {
+                "capacity": self.flight.capacity,
+                "size": len(self.flight),
+                "recorded": self.flight.recorded,
+                "dropped": self.flight.dropped,
+            },
             "cache": {
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
@@ -703,6 +794,31 @@ class GridAnalysisService:
             },
             "grids": self.grids(),
         }
+        for section in ("labeled_counters", "labeled_gauges", "bucket_histograms"):
+            if section in snap:
+                out[section] = snap[section]
+        return out
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition (``/metrics?format=prometheus``).
+
+        Registry instruments render natively; cache/queue/flight scalars
+        ride along as derived gauges under the same ``repro_`` prefix.
+        """
+        snap = obs.current_global().registry.snapshot()
+        extra = {
+            "serve.uptime_seconds": time.time() - self.started_at,
+            "serve.queue_max_depth": self.queue.max_depth,
+            "serve.flight_spans": len(self.flight),
+            "serve.flight_dropped": self.flight.dropped,
+            "cache.entries": len(self.cache),
+            "cache.hits": self.cache.hits,
+            "cache.misses": self.cache.misses,
+            "cache.factorizations": self.cache.factorizations,
+            "cache.evictions": self.cache.evictions,
+            "cache.factor_bytes": self.cache.factor_bytes,
+        }
+        return obs.render_prometheus(snap, extra_gauges=extra)
 
 
 __all__ = [

@@ -1,0 +1,81 @@
+"""Flight recorder: bounded ring, thread safety, Chrome-trace dumps."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.trace import SpanEvent, Tracer
+
+
+def _event(k: int, tid: int = 1) -> SpanEvent:
+    return SpanEvent(f"s{k}", k * 100, 50, None, tid)
+
+
+def test_ring_is_bounded():
+    rec = FlightRecorder(capacity=8)
+    for k in range(50):
+        rec.record(_event(k))
+    assert len(rec) == 8
+    assert rec.recorded == 50
+    assert rec.dropped == 42
+    # Oldest-first snapshot holds exactly the newest 8.
+    assert [e.name for e in rec.snapshot()] == [f"s{k}" for k in range(42, 50)]
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_extend_batches_and_names():
+    rec = FlightRecorder(capacity=100)
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    rec.extend(tracer.events, tracer.thread_names)
+    assert len(rec) == 2
+    assert set(rec.snapshot_names()) == set(tracer.thread_names)
+
+
+def test_chrome_trace_is_loadable(tmp_path):
+    rec = FlightRecorder(capacity=16)
+    for k in range(4):
+        rec.record(_event(k))
+    trace = rec.chrome_trace(metrics={"job": {"id": "job-1"}})
+    assert trace["metrics"]["job"]["id"] == "job-1"
+    phases = [r["ph"] for r in trace["traceEvents"] if r["ph"] in ("B", "E")]
+    assert phases.count("B") == 4 and phases.count("E") == 4
+
+    path = tmp_path / "flight.trace.json"
+    rec.dump(path)
+    loaded = json.loads(path.read_text())
+    assert len([r for r in loaded["traceEvents"] if r["ph"] == "B"]) == 4
+
+
+def test_concurrent_recording():
+    rec = FlightRecorder(capacity=64)
+    n_threads, per_thread = 8, 200
+
+    def pump(tid_tag: int) -> None:
+        for k in range(per_thread):
+            rec.record(_event(k, tid=tid_tag))
+
+    threads = [threading.Thread(target=pump, args=(i + 1,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert rec.recorded == n_threads * per_thread
+    assert len(rec) == 64
+
+
+def test_clear():
+    rec = FlightRecorder(capacity=4)
+    rec.record(_event(1))
+    rec.clear()
+    assert len(rec) == 0 and rec.recorded == 0 and rec.dropped == 0

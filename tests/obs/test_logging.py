@@ -1,0 +1,67 @@
+"""Structured JSON logging: line shape, correlation ids, null mode."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+from repro.obs.logging import NULL_LOGGER, JsonLogger
+
+
+def _lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_every_line_is_json_with_ts_and_event():
+    stream = io.StringIO()
+    log = JsonLogger(stream, clock=lambda: 123.456)
+    log.log("custom", cid="abc123", detail=7)
+    log.access("GET", "/jobs/job-1", 200, 0.0123, cid="abc123")
+    log.job("done", "abc123", "job-1", latency={"total": 0.5})
+
+    records = _lines(stream)
+    assert len(records) == 3
+    assert all(r["ts"] == 123.456 for r in records)
+    assert all(r["cid"] == "abc123" for r in records)
+    assert records[0]["event"] == "custom" and records[0]["detail"] == 7
+    assert records[1]["event"] == "http.access"
+    assert records[1]["method"] == "GET" and records[1]["status"] == 200
+    assert records[1]["dur_ms"] == 12.3
+    assert records[2]["event"] == "job.done" and records[2]["job"] == "job-1"
+
+
+def test_cid_omitted_when_unknown():
+    stream = io.StringIO()
+    JsonLogger(stream).access("GET", "/healthz", 200, 0.001)
+    (record,) = _lines(stream)
+    assert "cid" not in record
+
+
+def test_non_serializable_fields_fall_back_to_str():
+    stream = io.StringIO()
+    JsonLogger(stream).log("x", path=__import__("pathlib").Path("/tmp/t"))
+    (record,) = _lines(stream)
+    assert record["path"] == "/tmp/t"
+
+
+def test_null_logger_is_silent():
+    assert not NULL_LOGGER.enabled
+    NULL_LOGGER.log("anything", cid="c")  # must not raise
+
+
+def test_concurrent_writes_do_not_tear_lines():
+    stream = io.StringIO()
+    log = JsonLogger(stream)
+
+    def pump(idx: int) -> None:
+        for k in range(100):
+            log.log("e", idx=idx, k=k)
+
+    threads = [threading.Thread(target=pump, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    records = _lines(stream)  # raises if any line interleaved
+    assert len(records) == 400

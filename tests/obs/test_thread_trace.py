@@ -1,0 +1,170 @@
+"""Thread-safety and per-thread lanes in the tracer/exporter (PR 10).
+
+The regression this file pins: spans emitted concurrently from a
+``ThreadPoolExecutor`` used to interleave into one logical stream, and
+the containment-based nesting walk then produced corrupted span trees
+(a span "containing" an unrelated span from another thread).  Now every
+event records its thread id, the walk runs per lane, and Chrome-trace
+export puts each worker on its own tid.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import obs
+from repro.obs.export import chrome_trace, walk_events
+from repro.obs.trace import SpanEvent, Tracer
+
+N_THREADS = 4
+SPANS_PER_THREAD = 25
+
+
+def _worker(tracer: Tracer, idx: int) -> None:
+    for k in range(SPANS_PER_THREAD):
+        with tracer.span("outer", worker=idx, k=k):
+            with tracer.span("inner", worker=idx):
+                time.sleep(0)
+
+
+def _pool_trace() -> Tracer:
+    tracer = Tracer(enabled=True)
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        list(pool.map(lambda i: _worker(tracer, i), range(N_THREADS)))
+    return tracer
+
+
+def test_concurrent_recording_loses_nothing():
+    tracer = _pool_trace()
+    assert len(tracer.events) == N_THREADS * SPANS_PER_THREAD * 2
+    tids = {e.tid for e in tracer.events}
+    assert len(tids) <= N_THREADS
+    assert all(t != 0 for t in tids)
+    # Thread names were captured for every recording thread.
+    assert set(tracer.thread_names) == tids
+
+
+def test_walk_is_per_lane_and_balanced():
+    tracer = _pool_trace()
+    depth = 0
+    open_by_event: set[int] = set()
+    current_tid = None
+    for phase, event, d in walk_events(tracer.events):
+        if phase == "B":
+            # Lanes are walked one thread at a time: the walk never
+            # mixes tids inside one lane's open/close sequence.
+            if depth == 0:
+                current_tid = event.tid
+            assert event.tid == current_tid
+            assert d == depth
+            depth += 1
+            open_by_event.add(id(event))
+        else:
+            depth -= 1
+            assert d == depth
+            assert id(event) in open_by_event
+            open_by_event.remove(id(event))
+        assert depth >= 0
+    assert depth == 0 and not open_by_event
+
+
+def test_nesting_never_crosses_threads():
+    tracer = _pool_trace()
+    stack: list[SpanEvent] = []
+    for phase, event, _d in walk_events(tracer.events):
+        if phase == "B":
+            if stack:
+                parent = stack[-1]
+                assert parent.tid == event.tid
+                # Real containment, not accidental adjacency.
+                assert parent.t0_ns <= event.t0_ns
+                assert parent.end_ns >= event.end_ns
+            stack.append(event)
+        else:
+            stack.pop()
+
+
+def test_chrome_export_one_lane_per_worker():
+    tracer = _pool_trace()
+    trace = chrome_trace(
+        tracer.events, thread_names=tracer.thread_names
+    )
+    records = trace["traceEvents"]
+    meta = [r for r in records if r["ph"] == "M"]
+    spans = [r for r in records if r["ph"] in ("B", "E")]
+
+    lanes = {r["tid"] for r in spans}
+    assert len(lanes) == len({e.tid for e in tracer.events})
+    assert lanes == {r["tid"] for r in meta}
+    assert all(r["name"] == "thread_name" for r in meta)
+
+    # Timestamps are globally sorted and per-lane B/E balance holds.
+    ts = [r["ts"] for r in spans]
+    assert ts == sorted(ts)
+    per_lane_depth: dict[int, int] = {}
+    for r in spans:
+        delta = 1 if r["ph"] == "B" else -1
+        per_lane_depth[r["tid"]] = per_lane_depth.get(r["tid"], 0) + delta
+        assert per_lane_depth[r["tid"]] >= 0
+    assert all(v == 0 for v in per_lane_depth.values())
+
+    json.dumps(trace)  # the whole thing must serialize
+
+
+def test_no_metadata_events_without_thread_names():
+    tracer = _pool_trace()
+    records = chrome_trace(tracer.events)["traceEvents"]
+    assert all(r["ph"] != "M" for r in records)
+
+
+def test_extend_absorbs_foreign_events():
+    source = Tracer(enabled=True)
+    with source.span("job"):
+        pass
+    target = Tracer(enabled=True)
+    with target.span("service"):
+        pass
+    target.extend(source.events, source.thread_names)
+    assert len(target.events) == 2
+    assert set(source.thread_names) <= set(target.thread_names)
+
+
+def test_scoped_sessions_isolate_threads():
+    """Two threads in scoped sessions record into their own telemetry
+    while the process session stays untouched."""
+    results: dict[int, obs.Telemetry] = {}
+    barrier = threading.Barrier(2)
+
+    def job(idx: int) -> None:
+        tel = obs.Telemetry(trace=True)
+        with obs.scoped(tel):
+            barrier.wait(timeout=5)
+            with obs.span("work", idx=idx):
+                obs.add("job.ops")
+        results[idx] = tel
+
+    threads = [threading.Thread(target=job, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    for idx, tel in results.items():
+        assert len(tel.tracer.events) == 1
+        assert tel.tracer.events[0].attrs == {"idx": idx}
+        assert tel.registry.counters["job.ops"].value == 1
+    # The main thread never saw the overlays.
+    assert obs.active() is obs.current_global()
+
+
+def test_scoped_forwarding_keeps_global_monotonic():
+    before = obs.current_global().registry.counter("fwd.test").value
+    tel = obs.Telemetry()
+    tel.registry.forward_to = obs.current_global().registry
+    with obs.scoped(tel):
+        obs.add("fwd.test", 3)
+    assert tel.registry.counters["fwd.test"].value == 3
+    assert obs.current_global().registry.counter("fwd.test").value == before + 3

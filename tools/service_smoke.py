@@ -10,6 +10,12 @@ two service-level contracts on ``/metrics``:
 * later requests for the same grid were counted as cross-request cache
   hits.
 
+Then exercises the observability surfaces: ``/metrics?format=prometheus``
+must validate against the in-tree exposition checker, a deliberately
+broken job (an mc sweep that varies nothing) must fail AND leave a
+flight-recorder dump plus a servable ``/jobs/<id>/trace``, and every
+response must carry the job's correlation id.
+
 Finishes by checking that SIGINT shuts the server down cleanly.
 
 Run:  PYTHONPATH=src python tools/service_smoke.py
@@ -22,12 +28,16 @@ import os
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
-from urllib.error import URLError
+from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.promexport import validate_prometheus_text  # noqa: E402
 GRID = {"side": 16, "tiers": 2, "seed": 0}
 BURST = 6
 
@@ -44,16 +54,28 @@ def call(base: str, method: str, path: str, body: dict | None = None):
         return json.loads(response.read())
 
 
+def call_with_headers(base: str, path: str):
+    with urlopen(Request(base + path), timeout=60) as response:
+        return json.loads(response.read()), response.headers
+
+
+def fetch_text(base: str, path: str) -> str:
+    with urlopen(Request(base + path), timeout=60) as response:
+        return response.read().decode()
+
+
 def main() -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
         "PYTHONPATH", ""
     )
     env["PYTHONUNBUFFERED"] = "1"
+    flight_dir = Path(tempfile.mkdtemp(prefix="repro-flight-"))
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro.cli", "serve",
             "--port", "0", "--workers", "2", "--batch-window", "0.25",
+            "--flight-dump", str(flight_dir),
         ],
         env=env,
         stdout=subprocess.PIPE,
@@ -120,12 +142,53 @@ def main() -> int:
         assert metrics["cache"]["factorizations"] == 1, metrics["cache"]
         assert counters["serve.jobs_done"] == BURST + 1, counters
 
+        # -- observability surfaces --------------------------------------
+
+        # Prometheus exposition validates and reflects the jobs above.
+        prom = fetch_text(base, "/metrics?format=prometheus")
+        samples = validate_prometheus_text(prom)
+        assert samples["repro_serve_jobs_done_total"] == BURST + 1, samples
+        phase_count = sum(
+            v for k, v in samples.items()
+            if k.startswith("repro_serve_job_phase_seconds_count")
+        )
+        assert phase_count > 0, "no job-phase histogram samples"
+        try:
+            call(base, "GET", "/metrics?format=xml")
+            raise AssertionError("unknown format was not rejected")
+        except HTTPError as error:
+            assert error.code == 400, error.code
+
+        # A deliberately broken job: mc that varies nothing fails in the
+        # worker and must leave the full failure artifact trail.
+        bad = call(
+            base, "POST", "/jobs",
+            {"kind": "mc", "grid": "g1", "params": {"samples": 2}},
+        )
+        bad_done, headers = call_with_headers(
+            base, f"/jobs/{bad['id']}?wait=60"
+        )
+        assert bad_done["state"] == "failed", bad_done
+        assert "varies nothing" in bad_done["error"], bad_done
+        assert headers["X-Repro-Cid"] == bad["cid"], headers
+        assert bad_done["latency"]["total"] is not None, bad_done
+
+        trace = call(base, "GET", f"/jobs/{bad['id']}/trace")
+        names = {r.get("name") for r in trace["traceEvents"]}
+        assert "serve.job" in names, names
+
+        dumps = list(flight_dir.glob(f"{bad['id']}-flight.trace.json"))
+        assert len(dumps) == 1, f"no flight dump in {flight_dir}"
+        dumped = json.loads(dumps[0].read_text())
+        assert dumped["metrics"]["job"]["state"] == "failed", dumped["metrics"]
+
         proc.send_signal(signal.SIGINT)
         rc = proc.wait(timeout=30)
         assert rc == 0, f"serve exited with {rc}"
         print(
             f"service smoke OK: {BURST} sweeps + 1 mc, "
-            f"{coalesced} coalesced columns, 1 factorization, clean shutdown"
+            f"{coalesced} coalesced columns, 1 factorization, "
+            f"prometheus valid, flight dump on failure, clean shutdown"
         )
         return 0
     finally:
